@@ -1,0 +1,71 @@
+"""Expression-compilation ablation — the LLVM-codegen analog (§III).
+
+MPPDB lowers execution plans through LLVM before running them; the
+engine's analog compiles expression trees into fused closures cached
+across loop iterations.  This bench measures what that buys on the
+workload where per-iteration expression evaluation dominates (FF) and on
+one where joins dominate (PR), mirroring the structure of Fig. 8's
+analysis: the optimization helps most where the targeted cost is the
+bottleneck.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import Comparison, print_figure, time_query
+from repro.workloads import ff_query, pagerank_query
+
+from conftest import ITERATIONS
+
+FF_SQL = ff_query(iterations=ITERATIONS, selectivity_mod=None,
+                  order_and_limit=False)
+PR_SQL = pagerank_query(iterations=ITERATIONS)
+
+
+def timed_pair(db, sql, label):
+    db.set_option("enable_expr_compile", False)
+    interpreted = time_query(db, sql, repeats=3, warmup=1,
+                             label=f"{label}/interpreted")
+    db.set_option("enable_expr_compile", True)
+    compiled = time_query(db, sql, repeats=3, warmup=1,
+                          label=f"{label}/compiled")
+    return Comparison(label, interpreted, compiled)
+
+
+def test_expr_compile_report(ff_db, dblp_db):
+    comparisons = [
+        timed_pair(ff_db, FF_SQL, "FF (falls back: ROUND/CAST)"),
+        timed_pair(dblp_db, PR_SQL, "PR (compilable expressions)"),
+    ]
+    print_figure(
+        f"Ablation — expression compilation (LLVM-codegen analog), "
+        f"{ITERATIONS} iterations",
+        comparisons,
+        "no paper figure; §III mentions LLVM codegen as a pipeline stage")
+    # Compilation must never hurt meaningfully.
+    for comparison in comparisons:
+        assert comparison.improvement_pct > -10
+
+
+def test_results_identical(dblp_db):
+    dblp_db.set_option("enable_expr_compile", True)
+    compiled = sorted(dblp_db.execute(PR_SQL).rows())
+    dblp_db.set_option("enable_expr_compile", False)
+    interpreted = sorted(dblp_db.execute(PR_SQL).rows())
+    dblp_db.set_option("enable_expr_compile", True)
+    assert compiled == pytest.approx(interpreted)
+
+
+@pytest.mark.parametrize("enable", [True, False],
+                         ids=["compiled", "interpreted"])
+def test_expr_compile_benchmark(benchmark, ff_db, enable):
+    ff_db.set_option("enable_expr_compile", enable)
+    benchmark.pedantic(ff_db.execute, args=(FF_SQL,), rounds=3,
+                       iterations=1, warmup_rounds=1)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import pytest
+    import sys
+    sys.exit(pytest.main([__file__, "-s", "--benchmark-only"]))

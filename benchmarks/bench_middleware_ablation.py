@@ -1,0 +1,110 @@
+"""§I–II ablation — native single-plan execution vs the external
+middleware approach of [16] (no figure in the paper; this quantifies the
+overheads §II enumerates: per-statement parse/plan, temp-table DDL
+metadata, DML locking, and per-statement workload-manager scheduling).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.datasets import dblp_like, load_graph
+from repro.harness import Comparison, print_figure, print_series, \
+    time_callable
+from repro.middleware import MiddlewareDriver
+from repro.workloads import pagerank_query
+
+SPEC = dblp_like(nodes=2500, seed=17)
+ITERATIONS = 10
+PR_SQL = pagerank_query(iterations=ITERATIONS)
+
+
+@pytest.fixture(scope="module")
+def native_db():
+    db = Database()
+    load_graph(db, SPEC)
+    return db
+
+
+@pytest.fixture(scope="module")
+def middleware_db():
+    db = Database()
+    load_graph(db, SPEC)
+    return db
+
+
+def test_middleware_report(native_db, middleware_db):
+    native = time_callable("native",
+                           lambda: native_db.execute(PR_SQL),
+                           repeats=3, warmup=1)
+    driver = MiddlewareDriver(middleware_db)
+    external = time_callable("middleware",
+                             lambda: driver.run(PR_SQL),
+                             repeats=3, warmup=1)
+    comparison = Comparison(f"PR x{ITERATIONS} (dblp-like)", external,
+                            native)
+    print_figure(
+        "Middleware ablation — external driver vs native rewrite",
+        [comparison],
+        "§II: the native single plan avoids per-statement DDL/DML "
+        "overheads entirely")
+    assert comparison.improvement_pct > 0, \
+        "the native path must beat the external driver"
+
+
+def test_overhead_breakdown(native_db, middleware_db):
+    native_db.reset_stats()
+    native_db.transactions.stats.__init__()
+    native_db.execute(PR_SQL)
+
+    middleware_db.reset_stats()
+    middleware_db.transactions.stats.__init__()
+    driver = MiddlewareDriver(middleware_db)
+    driver.run(PR_SQL)
+
+    rows = [
+        ("statements parsed/planned", native_db.stats.statements,
+         middleware_db.stats.statements),
+        ("workload-manager units", native_db.workload.units_admitted,
+         middleware_db.workload.units_admitted),
+        ("locks acquired",
+         native_db.transactions.stats.locks_acquired,
+         middleware_db.transactions.stats.locks_acquired),
+        ("temp-table DDL (create+drop)",
+         native_db.catalog.stats.tables_created
+         + native_db.catalog.stats.tables_dropped,
+         middleware_db.catalog.stats.tables_created
+         + middleware_db.catalog.stats.tables_dropped - 2),
+        ("rows moved through DML", native_db.stats.rows_moved,
+         middleware_db.stats.rows_moved),
+    ]
+    print_series(
+        f"Overhead breakdown, PR x{ITERATIONS}",
+        ["overhead", "native", "middleware"], rows,
+        "§II: every row should be 0 or 1 for native, large for "
+        "middleware")
+    breakdown = dict((name, (nat, mid)) for name, nat, mid in rows)
+    assert breakdown["statements parsed/planned"][0] == 1
+    assert breakdown["statements parsed/planned"][1] > 30
+    assert breakdown["locks acquired"][0] == 0
+    assert breakdown["locks acquired"][1] > 30
+    assert breakdown["rows moved through DML"][0] == 0
+    assert breakdown["rows moved through DML"][1] > 0
+
+
+@pytest.mark.parametrize("mode", ["native", "middleware"])
+def test_middleware_benchmark(benchmark, native_db, middleware_db, mode):
+    if mode == "native":
+        benchmark.pedantic(native_db.execute, args=(PR_SQL,), rounds=3,
+                           iterations=1, warmup_rounds=1)
+    else:
+        driver = MiddlewareDriver(middleware_db)
+        benchmark.pedantic(driver.run, args=(PR_SQL,), rounds=3,
+                           iterations=1, warmup_rounds=1)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import pytest
+    import sys
+    sys.exit(pytest.main([__file__, "-s", "--benchmark-only"]))

@@ -1,0 +1,115 @@
+"""MPP substrate bench — data movement across the simulated shared-nothing
+cluster (no paper figure; MPPDB's shuffle decisions are background §III).
+
+Shows the classic MPP trade-offs the engine's planner layer models:
+colocated vs redistribute vs broadcast joins, and the motion saved by
+two-phase aggregation — the distribution-level counterpart of the paper's
+"minimize data movement" theme.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import dblp_like, generate_edges
+from repro.harness import print_series
+from repro.mpp import (
+    Cluster,
+    Distribution,
+    JoinStrategy,
+    distributed_aggregate_sum,
+    distributed_join,
+)
+from repro.storage import Table
+from repro.types import SqlType
+
+SPEC = dblp_like(nodes=4000, seed=29)
+EDGES = generate_edges(SPEC)
+
+
+def edges_table():
+    return Table.from_columns([
+        ("src", SqlType.INTEGER, [e[0] for e in EDGES]),
+        ("dst", SqlType.INTEGER, [e[1] for e in EDGES]),
+        ("weight", SqlType.FLOAT, [e[2] for e in EDGES]),
+    ])
+
+
+def ranks_table():
+    nodes = sorted({e[0] for e in EDGES} | {e[1] for e in EDGES})
+    return Table.from_columns([
+        ("node", SqlType.INTEGER, nodes),
+        ("delta", SqlType.FLOAT, [0.15] * len(nodes)),
+    ])
+
+
+def pr_step(cluster, edges_dist, ranks_dist):
+    """One distributed PR-style step: ranks ⋈ edges on src, then SUM by
+    dst — the join+aggregate core of the paper's iterative part."""
+    joined, decision = distributed_join(cluster, edges_dist, ranks_dist,
+                                        "src", "node")
+    distributed_aggregate_sum(cluster, joined, "l_dst", "r_delta")
+    return decision
+
+
+def test_placement_determines_motion():
+    rows = []
+    for placement, edge_key in (("edges hashed on src", "src"),
+                                ("edges hashed on dst", "dst")):
+        cluster = Cluster(4)
+        edges_dist = cluster.distribute("edges", edges_table(),
+                                        Distribution.hashed(edge_key))
+        ranks_dist = cluster.distribute("ranks", ranks_table(),
+                                        Distribution.hashed("node"))
+        cluster.motion.reset()
+        decision = pr_step(cluster, edges_dist, ranks_dist)
+        rows.append((placement, decision.strategy.value,
+                     cluster.motion.rows_moved,
+                     cluster.motion.shuffles + cluster.motion.broadcasts))
+    print_series(
+        "MPP — one PR step: placement vs interconnect traffic (4 segments)",
+        ["placement", "join strategy", "rows moved", "motions"],
+        rows,
+        "src-hashed edges colocate with node-hashed ranks: the join "
+        "itself moves nothing")
+    colocated, mismatched = rows[0], rows[1]
+    assert colocated[1] == JoinStrategy.COLOCATED.value
+    assert mismatched[2] > colocated[2] - 1  # mismatch always moves more
+
+
+def test_motion_scales_with_segments():
+    rows = []
+    for segments in (2, 4, 8, 16):
+        cluster = Cluster(segments)
+        edges_dist = cluster.distribute("edges", edges_table(),
+                                        Distribution.hashed("dst"))
+        ranks_dist = cluster.distribute("ranks", ranks_table(),
+                                        Distribution.hashed("node"))
+        cluster.motion.reset()
+        pr_step(cluster, edges_dist, ranks_dist)
+        rows.append((segments, cluster.motion.rows_moved,
+                     cluster.motion.bytes_moved))
+    print_series(
+        "MPP — PR step motion vs cluster size (dst-hashed edges)",
+        ["segments", "rows moved", "bytes moved"], rows,
+        "redistribution volume is size-of-relation, independent of "
+        "segment count; broadcast would scale with segments")
+    moved = [r[1] for r in rows]
+    assert max(moved) <= min(moved) * 2  # redistribution, not broadcast
+
+
+@pytest.mark.parametrize("segments", [2, 8], ids=["2seg", "8seg"])
+def test_mpp_benchmark_pr_step(benchmark, segments):
+    cluster = Cluster(segments)
+    edges_dist = cluster.distribute("edges", edges_table(),
+                                    Distribution.hashed("src"))
+    ranks_dist = cluster.distribute("ranks", ranks_table(),
+                                    Distribution.hashed("node"))
+    benchmark.pedantic(pr_step, args=(cluster, edges_dist, ranks_dist),
+                       rounds=3, iterations=1, warmup_rounds=1)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import pytest
+    import sys
+    sys.exit(pytest.main([__file__, "-s", "--benchmark-only"]))

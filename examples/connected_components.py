@@ -1,0 +1,57 @@
+"""Connected components with self-terminating convergence: the DELTA
+termination condition on a workload whose labels are monotone.
+
+Run:  python examples/connected_components.py
+"""
+
+from repro import Database
+from repro.datasets import dblp_like, generate_edges
+from repro.types import SqlType
+from repro.workloads import (
+    component_count,
+    components_query,
+    reference_components,
+)
+
+
+def main() -> None:
+    # Three islands: a path, a pair, and a triangle.
+    edges = [
+        (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0),      # path 1-2-3-4
+        (10, 11, 1.0),                              # pair
+        (20, 21, 1.0), (21, 22, 1.0), (22, 20, 1.0),  # triangle
+    ]
+    db = Database()
+    db.create_table("edges", [("src", SqlType.INTEGER),
+                              ("dst", SqlType.INTEGER),
+                              ("weight", SqlType.FLOAT)])
+    db.load_rows("edges", edges)
+
+    db.reset_stats()
+    labels = dict(db.execute(components_query()).rows())
+    print(f"converged in {db.stats.iterations} iterations "
+          f"(UNTIL DELTA = 0 — no iteration count supplied)")
+    print(f"{component_count(labels)} components:")
+    by_label: dict[int, list[int]] = {}
+    for node, label in sorted(labels.items()):
+        by_label.setdefault(label, []).append(node)
+    for label, nodes in sorted(by_label.items()):
+        print(f"  component {label}: {nodes}")
+
+    assert labels == reference_components(edges)
+    print("matches networkx connected_components: yes")
+
+    # On a bigger synthetic graph the same query self-terminates too.
+    big = Database()
+    big.create_table("edges", [("src", SqlType.INTEGER),
+                               ("dst", SqlType.INTEGER),
+                               ("weight", SqlType.FLOAT)])
+    big.load_rows("edges", generate_edges(dblp_like(nodes=2000)))
+    big.reset_stats()
+    labels = dict(big.execute(components_query()).rows())
+    print(f"\n2000-node graph: {component_count(labels)} component(s), "
+          f"converged in {big.stats.iterations} iterations")
+
+
+if __name__ == "__main__":
+    main()

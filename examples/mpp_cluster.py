@@ -1,0 +1,61 @@
+"""The shared-nothing layer: how table placement decides interconnect
+traffic for the PR-style join + aggregate (MPPDB background, §III).
+
+Run:  python examples/mpp_cluster.py
+"""
+
+from repro.datasets import dblp_like, generate_edges
+from repro.mpp import (
+    Cluster,
+    Distribution,
+    distributed_aggregate_sum,
+    distributed_join,
+)
+from repro.storage import Table
+from repro.types import SqlType
+
+
+def main() -> None:
+    edges = generate_edges(dblp_like(nodes=3000))
+    nodes = sorted({e[0] for e in edges} | {e[1] for e in edges})
+    edges_table = Table.from_columns([
+        ("src", SqlType.INTEGER, [e[0] for e in edges]),
+        ("dst", SqlType.INTEGER, [e[1] for e in edges]),
+        ("weight", SqlType.FLOAT, [e[2] for e in edges]),
+    ])
+    ranks_table = Table.from_columns([
+        ("node", SqlType.INTEGER, nodes),
+        ("delta", SqlType.FLOAT, [0.15] * len(nodes)),
+    ])
+    print(f"{len(edges)} edges, {len(nodes)} nodes")
+
+    for placement in ("src", "dst"):
+        cluster = Cluster(segments=4)
+        distributed_edges = cluster.distribute(
+            "edges", edges_table, Distribution.hashed(placement))
+        distributed_ranks = cluster.distribute(
+            "ranks", ranks_table, Distribution.hashed("node"))
+        cluster.motion.reset()
+
+        # One PR step: join deltas onto edges by source, sum per target.
+        joined, decision = distributed_join(
+            cluster, distributed_edges, distributed_ranks, "src", "node")
+        result = distributed_aggregate_sum(cluster, joined, "l_dst",
+                                           "r_delta")
+
+        print(f"\nedges hash-distributed on '{placement}':")
+        print(f"  join strategy     : {decision.strategy.value}")
+        print(f"  rows moved        : {cluster.motion.rows_moved}")
+        print(f"  bytes moved       : {cluster.motion.bytes_moved}")
+        print(f"  shuffles          : {cluster.motion.shuffles}")
+        sizes = [p.num_rows for p in result.partitions]
+        print(f"  result partitions : {sizes} "
+              f"({result.num_rows} rows total)")
+
+    print("\ntakeaway: distributing edges on the join key makes the "
+          "per-iteration join motion-free —\nthe distribution-level twin "
+          "of the paper's rename optimization.")
+
+
+if __name__ == "__main__":
+    main()

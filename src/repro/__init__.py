@@ -1,0 +1,47 @@
+"""repro — reproduction of DBSpinner (ICDE 2021): iterative CTEs in a
+relational engine.
+
+Public entry points::
+
+    from repro import Database
+
+    db = Database()
+    db.execute("CREATE TABLE edges (src INT, dst INT, weight FLOAT)")
+    db.execute("INSERT INTO edges VALUES (1, 2, 1.0)")
+    result = db.execute("WITH ITERATIVE r (x) AS (...) SELECT * FROM r")
+"""
+
+__version__ = "1.0.0"
+
+from .errors import (
+    BindError,
+    CatalogError,
+    DuplicateKeyError,
+    ExecutionError,
+    PlanError,
+    ReproError,
+    SqlSyntaxError,
+    TypeCheckError,
+)
+
+__all__ = [
+    "Database",
+    "BindError",
+    "CatalogError",
+    "DuplicateKeyError",
+    "ExecutionError",
+    "PlanError",
+    "ReproError",
+    "SqlSyntaxError",
+    "TypeCheckError",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # Lazy import so `import repro` stays cheap and avoids import cycles
+    # while submodules are loaded on demand.
+    if name == "Database":
+        from .engine import Database
+        return Database
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

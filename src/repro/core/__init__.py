@@ -1,0 +1,21 @@
+"""The paper's contribution: iterative CTEs as a functional rewrite.
+
+* :mod:`repro.core.rewrite` — Algorithm 1: iterative CTE → step program.
+* :mod:`repro.core.recursive` — ANSI recursive CTEs (fixed point), with
+  the aggregate restriction the paper motivates.
+* :mod:`repro.core.loop` — the loop operator's termination evaluation.
+* :mod:`repro.core.runner` — the program executor (rename/loop included).
+"""
+
+from .loop import LoopState, count_changed_rows, should_continue
+from .rewrite import compile_statement
+from .runner import ProgramRunner, run_program
+
+__all__ = [
+    "LoopState",
+    "count_changed_rows",
+    "should_continue",
+    "compile_statement",
+    "ProgramRunner",
+    "run_program",
+]

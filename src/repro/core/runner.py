@@ -1,0 +1,231 @@
+"""Program executor: runs step programs with a program counter.
+
+This is the engine-side half of the paper's execution-engine changes
+(§VI): materialize steps run ordinary plans; the *rename* step updates the
+intermediate-result lookup table; the *loop* step evaluates the
+termination condition and conditionally jumps backwards.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import DuplicateKeyError, ExecutionError, IterationLimitError
+from ..execution import ExecutionContext, execute_to_table
+from ..execution.kernels import factorize
+from ..plan.program import (
+    CopyStep,
+    CountUpdatesStep,
+    DropStep,
+    DuplicateCheckStep,
+    IncrementLoopStep,
+    InitLoopStep,
+    LoopStep,
+    MaterializeStep,
+    Program,
+    RecursiveMergeStep,
+    RenameStep,
+    ReturnStep,
+    SnapshotStep,
+    Step,
+)
+from ..storage import Table
+from .loop import LoopState, count_changed_rows, should_continue
+
+
+@dataclass
+class StepProfile:
+    """Accumulated runtime of one program step (EXPLAIN ANALYZE)."""
+
+    executions: int = 0
+    rows: int = 0
+    seconds: float = 0.0
+
+
+class ProgramRunner:
+    """Executes one program against an execution context."""
+
+    def __init__(self, program: Program, ctx: ExecutionContext,
+                 instrument: bool = False):
+        self._program = program
+        self._ctx = ctx
+        self._loop_states: dict[int, LoopState] = {}
+        self._result: Optional[Table] = None
+        self._instrument = instrument
+        self.profiles: dict[int, StepProfile] = {}
+
+    def run(self) -> Optional[Table]:
+        pc = 0
+        safety_budget = self._ctx.options.max_iterations
+        steps = self._program.steps
+        while pc < len(steps):
+            if self._instrument:
+                started = time.perf_counter()
+                before = self._ctx.stats.rows_materialized
+                jump = self._run_step(steps[pc])
+                profile = self.profiles.setdefault(pc, StepProfile())
+                profile.executions += 1
+                profile.seconds += time.perf_counter() - started
+                profile.rows += (self._ctx.stats.rows_materialized
+                                 - before)
+            else:
+                jump = self._run_step(steps[pc])
+            if jump is not None:
+                safety_budget -= 1
+                if safety_budget <= 0:
+                    raise IterationLimitError(
+                        "iterative query exceeded max_iterations "
+                        f"({self._ctx.options.max_iterations}); raise the "
+                        "session option if this is intentional")
+                pc = jump
+            else:
+                pc += 1
+        return self._result
+
+    def report(self) -> str:
+        """Render the program with measured per-step counters."""
+        lines = []
+        for index, step in enumerate(self._program.steps):
+            profile = self.profiles.get(index, StepProfile())
+            timing = (f"(executions={profile.executions}, "
+                      f"rows={profile.rows}, "
+                      f"time={profile.seconds * 1000:.2f}ms)")
+            lines.append(f"{index + 1:>3}  {step.describe()}  {timing}")
+            if isinstance(step, LoopStep):
+                spec = self._program.loops[step.loop_id]
+                lines.append(f"     loop {spec.annotation()}")
+        return "\n".join(lines)
+
+    # -- step dispatch -------------------------------------------------------
+
+    def _run_step(self, step: Step) -> Optional[int]:
+        ctx = self._ctx
+
+        if isinstance(step, MaterializeStep):
+            table = execute_to_table(step.plan, ctx, step.column_names)
+            ctx.registry.store(step.result_name, table)
+            return None
+
+        if isinstance(step, RenameStep):
+            ctx.registry.rename(step.source, step.target)
+            ctx.stats.renames += 1
+            return None
+
+        if isinstance(step, CopyStep):
+            source = ctx.registry.fetch(step.source)
+            # A physical copy: every column buffer is duplicated, so the
+            # cost of moving the data is actually paid (the Fig. 8
+            # baseline) — vectorized, as a real engine's block copy is.
+            from ..storage import Column
+            copied_columns = [
+                Column(c.sql_type, c.data.copy(), c.mask.copy())
+                for c in source.columns]
+            copied = Table(source.schema, copied_columns)
+            ctx.registry.store(step.target, copied)
+            ctx.registry.drop(step.source)
+            ctx.stats.rows_moved += copied.num_rows
+            ctx.stats.bytes_moved += copied.nbytes()
+            return None
+
+        if isinstance(step, SnapshotStep):
+            snapshot = ctx.registry.fetch(step.source).copy()
+            ctx.registry.store(step.target, snapshot)
+            return None
+
+        if isinstance(step, DuplicateCheckStep):
+            table = ctx.registry.fetch(step.result_name)
+            key = table.column(step.key_column)
+            codes, cardinality = factorize(key, nulls_match=True)
+            if len(codes) and cardinality < len(codes):
+                raise DuplicateKeyError(
+                    "the iterative part produced duplicate values for key "
+                    f"{step.key_column!r}; add an aggregation to resolve "
+                    "them (paper §II)")
+            return None
+
+        if isinstance(step, CountUpdatesStep):
+            previous = ctx.registry.fetch(step.previous)
+            current = ctx.registry.fetch(step.current)
+            key_index = current.schema.index_of(step.key_column)
+            changed = count_changed_rows(previous, current, key_index)
+            self._loop_states[step.loop_id].record_updates(changed)
+            return None
+
+        if isinstance(step, InitLoopStep):
+            self._loop_states[step.spec.loop_id] = LoopState(step.spec)
+            return None
+
+        if isinstance(step, IncrementLoopStep):
+            self._loop_states[step.loop_id].iterations += 1
+            ctx.stats.iterations += 1
+            return None
+
+        if isinstance(step, LoopStep):
+            state = self._loop_states.get(step.loop_id)
+            if state is None:
+                raise ExecutionError(
+                    "loop step executed before initialization")
+            if should_continue(state, ctx):
+                return step.jump_to
+            return None
+
+        if isinstance(step, RecursiveMergeStep):
+            self._run_recursive_merge(step)
+            return None
+
+        if isinstance(step, ReturnStep):
+            self._result = execute_to_table(step.plan, ctx)
+            return None
+
+        if isinstance(step, DropStep):
+            for name in step.names:
+                ctx.registry.drop(name)
+            return None
+
+        raise ExecutionError(f"unknown step type: {type(step).__name__}")
+
+    def _run_recursive_merge(self, step: RecursiveMergeStep) -> None:
+        """UNION / UNION ALL fixed-point bookkeeping for recursive CTEs."""
+        import numpy as np
+
+        from ..execution.kernels import encode_keys
+
+        ctx = self._ctx
+        result = ctx.registry.fetch(step.result)
+        candidate = ctx.registry.fetch(step.candidate)
+
+        if not step.distinct:
+            # UNION ALL: everything is new.
+            ctx.registry.store(step.result, result.concat(candidate))
+            ctx.registry.store(step.working, candidate)
+            return
+
+        if candidate.num_rows == 0:
+            ctx.registry.store(step.working, candidate)
+            return
+
+        joint = [rc.concat(cc) for rc, cc in
+                 zip(result.columns, candidate.columns)]
+        codes = encode_keys(joint, nulls_match=True) if joint else None
+        if codes is None:
+            new_mask = np.zeros(candidate.num_rows, dtype=np.bool_)
+        else:
+            seen = set(codes[:result.num_rows].tolist())
+            cand_codes = codes[result.num_rows:]
+            new_mask = np.ones(candidate.num_rows, dtype=np.bool_)
+            emitted: set[int] = set()
+            for i, code in enumerate(cand_codes.tolist()):
+                if code in seen or code in emitted:
+                    new_mask[i] = False
+                else:
+                    emitted.add(code)
+        new_rows = candidate.filter(new_mask)
+        ctx.registry.store(step.result, result.concat(new_rows))
+        ctx.registry.store(step.working, new_rows)
+
+
+def run_program(program: Program, ctx: ExecutionContext) -> Optional[Table]:
+    """Execute a plan program; returns the ReturnStep's table (if any)."""
+    return ProgramRunner(program, ctx).run()

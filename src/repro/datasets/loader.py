@@ -1,0 +1,42 @@
+"""Loading synthetic datasets into a Database."""
+
+from __future__ import annotations
+
+from ..engine import Database
+from ..types import SqlType
+from .generators import GraphSpec, generate_edges, generate_vertex_status
+
+
+def load_graph(db: Database, spec: GraphSpec,
+               with_vertex_status: bool = False,
+               available_fraction: float = 0.8,
+               edges_table: str = "edges",
+               status_table: str = "vertexStatus") -> dict[str, int]:
+    """Create and populate the paper's tables for one dataset.
+
+    Returns row counts per table.  The edges table is
+    ``(src INT, dst INT, weight FLOAT)`` exactly as §II assumes; weights
+    are 1/outdegree so the PR query's SUM computes a proper random-walk
+    step.
+    """
+    counts: dict[str, int] = {}
+    edges = generate_edges(spec)
+    db.create_table(edges_table, [("src", SqlType.INTEGER),
+                                  ("dst", SqlType.INTEGER),
+                                  ("weight", SqlType.FLOAT)])
+    counts[edges_table] = db.load_rows(edges_table, edges)
+
+    if with_vertex_status:
+        status = generate_vertex_status(spec, available_fraction)
+        db.create_table(status_table, [("node", SqlType.INTEGER),
+                                       ("status", SqlType.INTEGER)])
+        counts[status_table] = db.load_rows(status_table, status)
+    return counts
+
+
+def fresh_database(spec: GraphSpec, with_vertex_status: bool = False,
+                   available_fraction: float = 0.8) -> Database:
+    """A new Database pre-loaded with one synthetic graph."""
+    db = Database()
+    load_graph(db, spec, with_vertex_status, available_fraction)
+    return db

@@ -1,0 +1,17 @@
+"""Engine façade: Database, transactions, workload accounting."""
+
+from ..execution import SessionOptions
+from .database import Database, QueryResult
+from .transactions import LockMode, TransactionManager, TxnState
+from .workload import UnitKind, WorkloadManager
+
+__all__ = [
+    "Database",
+    "QueryResult",
+    "SessionOptions",
+    "LockMode",
+    "TransactionManager",
+    "TxnState",
+    "UnitKind",
+    "WorkloadManager",
+]

@@ -1,0 +1,276 @@
+"""The Database façade: the public entry point of the engine.
+
+Mirrors the paper's processing pipeline: parse → functional rewrite
+(iterative/recursive CTE expansion into a step program) → optimization
+rewrites → execution.  ``execute`` takes SQL text (or a parsed statement)
+and returns a :class:`QueryResult` for queries, or an affected-row count
+wrapped in the same type for DML.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional, Sequence
+
+from ..errors import CatalogError, ReproError
+from ..execution import (
+    ExecutionContext,
+    ExecutionStats,
+    SessionOptions,
+)
+from ..plan import PlanContext
+from ..plan.program import Program
+from ..sql import ast, parse, parse_script
+from ..storage import (
+    Catalog,
+    ColumnSchema,
+    ResultRegistry,
+    Schema,
+    Table,
+    pretty_table,
+)
+from ..core.rewrite import compile_statement
+from ..core.runner import ProgramRunner, run_program
+from ..stats import (
+    CardinalityEstimator,
+    StatisticsCatalog,
+    estimate_program,
+)
+from ..types import SqlType, type_from_name
+from .dml import execute_delete, execute_insert, execute_update
+from .transactions import LockMode, TransactionManager
+from .workload import UnitKind, WorkloadManager
+
+
+@dataclass
+class QueryResult:
+    """Result of one statement: a table for queries, a row count for DML."""
+
+    table: Optional[Table] = None
+    rowcount: int = 0
+
+    def rows(self) -> list[tuple]:
+        return self.table.rows() if self.table is not None else []
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return self.table.to_dicts() if self.table is not None else []
+
+    def column_names(self) -> list[str]:
+        if self.table is None:
+            return []
+        return self.table.schema.names
+
+    def scalar(self) -> Any:
+        rows = self.rows()
+        if len(rows) != 1 or len(rows[0]) != 1:
+            raise ReproError(
+                f"scalar() needs a 1x1 result, got {len(rows)} row(s)")
+        return rows[0][0]
+
+    def pretty(self, limit: int = 20) -> str:
+        if self.table is None:
+            return f"({self.rowcount} rows affected)"
+        return pretty_table(self.table, limit)
+
+
+class Database:
+    """An embedded relational engine with iterative-CTE support."""
+
+    def __init__(self, options: Optional[SessionOptions] = None):
+        self.catalog = Catalog()
+        self.registry = ResultRegistry()
+        self.options = options or SessionOptions()
+        self.stats = ExecutionStats()
+        self.transactions = TransactionManager()
+        self.workload = WorkloadManager()
+        self.statistics = StatisticsCatalog(self.catalog)
+
+    # -- public API --------------------------------------------------------
+
+    def execute(self, sql: str | ast.Statement) -> QueryResult:
+        """Parse (if needed) and run one statement."""
+        statement = parse(sql) if isinstance(sql, str) else sql
+        self.stats.statements += 1
+        try:
+            return self._dispatch(statement)
+        finally:
+            self.transactions.statement_boundary()
+
+    def execute_script(self, sql: str) -> list[QueryResult]:
+        """Run a ';'-separated script; returns one result per statement."""
+        return [self.execute(stmt) for stmt in parse_script(sql)]
+
+    def explain(self, sql: str | ast.Statement,
+                verbose: bool = False) -> str:
+        """The step program for a query, in the paper's Table I style."""
+        statement = parse(sql) if isinstance(sql, str) else sql
+        if isinstance(statement, ast.Explain):
+            statement = statement.statement
+        if not isinstance(statement, (ast.Select, ast.SetOp)):
+            raise ReproError("EXPLAIN supports only queries")
+        program = self._compile(statement)
+        return program.explain(verbose=verbose)
+
+    def explain_cost(self, sql: str | ast.Statement) -> str:
+        """The step program plus the cost model's estimate: setup +
+        estimated-iterations x per-iteration + final (the paper's
+        future-work costing, see repro.stats)."""
+        statement = parse(sql) if isinstance(sql, str) else sql
+        if not isinstance(statement, (ast.Select, ast.SetOp)):
+            raise ReproError("EXPLAIN supports only queries")
+        program = self._compile(statement)
+        report = estimate_program(
+            program, self.statistics,
+            default_iterations=self.options.default_iteration_estimate)
+        return program.explain() + "\n--\n" + report.describe()
+
+    def explain_analyze(self, sql: str | ast.Statement) -> str:
+        """Run the query and report measured per-step executions, rows
+        and time — the runtime counterpart of ``explain_cost``."""
+        statement = parse(sql) if isinstance(sql, str) else sql
+        if not isinstance(statement, (ast.Select, ast.SetOp)):
+            raise ReproError("EXPLAIN ANALYZE supports only queries")
+        program = self._compile(statement)
+        ctx = ExecutionContext(self.catalog, self.registry, self.options,
+                               self.stats)
+        runner = ProgramRunner(program, ctx, instrument=True)
+        runner.run()
+        return runner.report()
+
+    def set_option(self, name: str, value) -> None:
+        if not hasattr(self.options, name):
+            raise ReproError(f"unknown session option: {name!r}")
+        setattr(self.options, name, value)
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+        self.workload.reset()
+
+    # -- convenience loaders -------------------------------------------------
+
+    def create_table(self, name: str,
+                     columns: Sequence[tuple[str, SqlType]],
+                     primary_key: Optional[str] = None) -> None:
+        schema = Schema(tuple(ColumnSchema(n.lower(), t)
+                              for n, t in columns), primary_key)
+        self.catalog.create(name, schema)
+
+    def load_rows(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Bulk append rows to an existing table (no per-row DML cost)."""
+        table = self.catalog.get(name)
+        loaded = Table.from_rows(table.schema, rows)
+        self.catalog.put(name, table.concat(loaded)
+                         if table.num_rows else loaded)
+        return loaded.num_rows
+
+    def table(self, name: str) -> Table:
+        return self.catalog.get(name)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _plan_context(self) -> PlanContext:
+        return PlanContext(self.catalog)
+
+    def _compile(self, statement: ast.SelectLike) -> Program:
+        self.stats.plans_built += 1
+        estimator = CardinalityEstimator(self.statistics)
+        return compile_statement(statement, self._plan_context(),
+                                 self.options, self.stats, estimator)
+
+    def _run_query(self, statement: ast.SelectLike) -> Table:
+        program = self._compile(statement)
+        self.workload.admit(UnitKind.QUERY, "query",
+                            steps=len(program.steps))
+        ctx = ExecutionContext(self.catalog, self.registry, self.options,
+                               self.stats)
+        table = run_program(program, ctx)
+        if table is None:
+            raise ReproError("query program produced no result")
+        return table
+
+    def _dispatch(self, statement: ast.Statement) -> QueryResult:
+        if isinstance(statement, (ast.Select, ast.SetOp)):
+            return QueryResult(table=self._run_query(statement))
+
+        if isinstance(statement, ast.Explain):
+            text = self.explain(statement.statement)
+            table = Table.from_columns([
+                ("plan", SqlType.TEXT, text.splitlines()),
+            ])
+            return QueryResult(table=table)
+
+        if isinstance(statement, ast.CreateTable):
+            self._execute_create(statement)
+            return QueryResult()
+
+        if isinstance(statement, ast.Analyze):
+            self.workload.admit(UnitKind.DDL,
+                                f"analyze {statement.table or 'all'}")
+            analyzed = self.statistics.analyze(statement.table)
+            table = Table.from_columns([
+                ("analyzed", SqlType.TEXT, analyzed)])
+            return QueryResult(table=table, rowcount=len(analyzed))
+
+        if isinstance(statement, ast.DropTable):
+            self.workload.admit(UnitKind.DDL, f"drop {statement.name}")
+            self.transactions.lock(statement.name, LockMode.EXCLUSIVE)
+            self.catalog.drop(statement.name, statement.if_exists)
+            self.statistics.invalidate(statement.name)
+            return QueryResult()
+
+        ctx = ExecutionContext(self.catalog, self.registry, self.options,
+                               self.stats)
+
+        if isinstance(statement, ast.Insert):
+            self.workload.admit(UnitKind.DML, f"insert {statement.table}")
+            self.transactions.lock(statement.table, LockMode.EXCLUSIVE)
+            self.statistics.invalidate(statement.table)
+            count = execute_insert(statement, ctx, self._plan_context(),
+                                   self._run_query)
+            return QueryResult(rowcount=count)
+
+        if isinstance(statement, ast.Update):
+            self.workload.admit(UnitKind.DML, f"update {statement.table}")
+            self.transactions.lock(statement.table, LockMode.EXCLUSIVE)
+            self.statistics.invalidate(statement.table)
+            count = execute_update(statement, ctx, self._plan_context())
+            return QueryResult(rowcount=count)
+
+        if isinstance(statement, ast.Delete):
+            self.workload.admit(UnitKind.DML, f"delete {statement.table}")
+            self.transactions.lock(statement.table, LockMode.EXCLUSIVE)
+            self.statistics.invalidate(statement.table)
+            count = execute_delete(statement, ctx, self._plan_context())
+            return QueryResult(rowcount=count)
+
+        if isinstance(statement, ast.BeginTransaction):
+            self.workload.admit(UnitKind.CONTROL, "begin")
+            self.transactions.begin()
+            return QueryResult()
+        if isinstance(statement, ast.CommitTransaction):
+            self.workload.admit(UnitKind.CONTROL, "commit")
+            self.transactions.commit()
+            return QueryResult()
+        if isinstance(statement, ast.RollbackTransaction):
+            self.workload.admit(UnitKind.CONTROL, "rollback")
+            self.transactions.rollback()
+            return QueryResult()
+
+        raise ReproError(
+            f"unsupported statement: {type(statement).__name__}")
+
+    def _execute_create(self, statement: ast.CreateTable) -> None:
+        self.workload.admit(UnitKind.DDL, f"create {statement.name}")
+        self.transactions.lock(statement.name, LockMode.EXCLUSIVE)
+        primary_key = None
+        columns = []
+        for definition in statement.columns:
+            sql_type = type_from_name(definition.type_name)
+            columns.append(ColumnSchema(definition.name.lower(), sql_type))
+            if definition.primary_key:
+                if primary_key is not None:
+                    raise CatalogError("multiple PRIMARY KEY columns")
+                primary_key = definition.name.lower()
+        schema = Schema(tuple(columns), primary_key)
+        self.catalog.create(statement.name, schema,
+                            statement.if_not_exists)

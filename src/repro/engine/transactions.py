@@ -1,0 +1,87 @@
+"""Transaction and lock accounting.
+
+The engine is single-threaded, so this is an *overhead model*, not a
+concurrency-control implementation: what matters for the paper's argument
+(§II) is that external/middleware solutions pay per-statement transaction
+and lock management that the single-plan native execution avoids.  Every
+DDL/DML statement acquires locks here; the counters feed the middleware
+ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import TransactionError
+
+
+class TxnState(enum.Enum):
+    IDLE = "idle"
+    ACTIVE = "active"
+
+
+class LockMode(enum.Enum):
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+@dataclass
+class TransactionStats:
+    begun: int = 0
+    committed: int = 0
+    rolled_back: int = 0
+    implicit: int = 0
+    locks_acquired: int = 0
+    lock_table_peak: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+class TransactionManager:
+    """Tracks transaction state and a (single-session) lock table."""
+
+    def __init__(self) -> None:
+        self.state = TxnState.IDLE
+        self.stats = TransactionStats()
+        self._held_locks: dict[str, LockMode] = {}
+
+    def begin(self) -> None:
+        if self.state is TxnState.ACTIVE:
+            raise TransactionError("transaction already in progress")
+        self.state = TxnState.ACTIVE
+        self.stats.begun += 1
+
+    def commit(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionError("no transaction in progress")
+        self.state = TxnState.IDLE
+        self.stats.committed += 1
+        self._held_locks.clear()
+
+    def rollback(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionError("no transaction in progress")
+        self.state = TxnState.IDLE
+        self.stats.rolled_back += 1
+        self._held_locks.clear()
+
+    def lock(self, table: str, mode: LockMode) -> None:
+        """Record a lock acquisition (upgrade shared → exclusive)."""
+        key = table.lower()
+        held = self._held_locks.get(key)
+        if held is LockMode.EXCLUSIVE:
+            return
+        self._held_locks[key] = mode
+        self.stats.locks_acquired += 1
+        self.stats.lock_table_peak = max(self.stats.lock_table_peak,
+                                         len(self._held_locks))
+
+    def statement_boundary(self) -> None:
+        """Autocommit: outside an explicit transaction every statement is
+        its own transaction, releasing locks at its end."""
+        if self.state is TxnState.IDLE:
+            if self._held_locks:
+                self.stats.implicit += 1
+            self._held_locks.clear()

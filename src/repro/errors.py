@@ -1,0 +1,78 @@
+"""Exception hierarchy for the repro engine.
+
+Every error raised by the engine derives from :class:`ReproError` so callers
+can catch engine failures without catching unrelated Python errors.  The
+hierarchy mirrors the stages of query processing: lexing/parsing, binding
+(name resolution), planning/rewriting, and execution.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the engine."""
+
+
+class SqlSyntaxError(ReproError):
+    """Raised by the lexer or parser on malformed SQL.
+
+    Carries the offending position so messages can point at the source.
+    """
+
+    def __init__(self, message: str, position: int | None = None,
+                 line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None and column is not None:
+            location = f" at line {line}, column {column}"
+        elif position is not None:
+            location = f" at position {position}"
+        super().__init__(f"{message}{location}")
+        self.position = position
+        self.line = line
+        self.column = column
+
+
+class BindError(ReproError):
+    """Raised when a name (table, column, function) cannot be resolved."""
+
+
+class CatalogError(ReproError):
+    """Raised on catalog violations: duplicate table, missing table, etc."""
+
+
+class TypeCheckError(ReproError):
+    """Raised when an expression is applied to incompatible types."""
+
+
+class PlanError(ReproError):
+    """Raised when a valid parse tree cannot be turned into a plan."""
+
+
+class RewriteError(ReproError):
+    """Raised when a rewrite rule meets a tree shape it cannot handle."""
+
+
+class ExecutionError(ReproError):
+    """Raised for failures during plan execution."""
+
+
+class DuplicateKeyError(ExecutionError):
+    """The iterative part produced two updates for the same row key.
+
+    The paper (Section II) mandates a run-time error in this case: with two
+    candidate updates for one row of the main CTE table, the system cannot
+    know which to apply, and the user must resolve duplicates with an
+    explicit aggregation.
+    """
+
+
+class RecursionNotSupportedError(PlanError):
+    """ANSI recursive CTE restriction violations (aggregates, etc.)."""
+
+
+class IterationLimitError(ExecutionError):
+    """An iterative CTE exceeded the engine's safety iteration cap."""
+
+
+class TransactionError(ReproError):
+    """Lock conflicts or invalid transaction state."""

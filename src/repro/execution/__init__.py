@@ -1,0 +1,17 @@
+"""Vectorized columnar executor."""
+
+from .context import ExecutionContext, ExecutionStats, SessionOptions
+from .expressions import evaluate, evaluate_predicate
+from .frame import Frame
+from .operators import execute_plan, execute_to_table
+
+__all__ = [
+    "ExecutionContext",
+    "ExecutionStats",
+    "SessionOptions",
+    "evaluate",
+    "evaluate_predicate",
+    "Frame",
+    "execute_plan",
+    "execute_to_table",
+]

@@ -1,0 +1,135 @@
+"""Runtime row batches.
+
+A :class:`Frame` is the value flowing between physical operators: an
+ordered set of columns labelled with :class:`~repro.plan.logical.Field`
+descriptors.  Resolution of column references against a frame uses exactly
+the same rules as bind-time resolution (see :mod:`repro.plan.binding`), so
+anything the builder accepted will resolve at run time.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..plan.binding import resolve_column
+from ..plan.logical import Field
+from ..sql import ast
+from ..storage import Column, ColumnSchema, Schema, Table
+
+
+class Frame:
+    """Columns + field labels + an explicit row count.
+
+    The explicit count matters for zero-column frames (the one-row "dual"
+    frame behind ``SELECT 1``).
+    """
+
+    __slots__ = ("fields", "columns", "num_rows")
+
+    def __init__(self, fields: Sequence[Field], columns: Sequence[Column],
+                 num_rows: int | None = None):
+        fields = tuple(fields)
+        columns = list(columns)
+        if len(fields) != len(columns):
+            raise ExecutionError("frame fields/columns length mismatch")
+        if num_rows is None:
+            if not columns:
+                raise ExecutionError(
+                    "zero-column frame needs an explicit row count")
+            num_rows = len(columns[0])
+        for column in columns:
+            if len(column) != num_rows:
+                raise ExecutionError("ragged frame columns")
+        self.fields = fields
+        self.columns = columns
+        self.num_rows = num_rows
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_table(cls, table: Table, fields: Sequence[Field]) -> "Frame":
+        """Label a stored table's columns with the plan's fields.
+
+        Types are reconciled: a stored column whose type drifted (e.g. an
+        all-NULL column typed NULL) is cast to the declared field type.
+        """
+        fields = tuple(fields)
+        if len(fields) != len(table.columns):
+            raise ExecutionError(
+                f"stored result has {len(table.columns)} columns, "
+                f"plan expects {len(fields)}")
+        columns = []
+        for field, column in zip(fields, table.columns):
+            if column.sql_type is not field.sql_type:
+                column = column.cast(field.sql_type)
+            columns.append(column)
+        return cls(fields, columns, table.num_rows)
+
+    @classmethod
+    def dual(cls) -> "Frame":
+        """The one-row, zero-column frame behind SELECT-without-FROM."""
+        return cls((), [], num_rows=1)
+
+    # -- access ---------------------------------------------------------------
+
+    def resolve(self, ref: ast.ColumnRef) -> Column:
+        return self.columns[resolve_column(self.fields, ref)]
+
+    def to_table(self, names: Sequence[str] | None = None) -> Table:
+        """Materialize as a Table, optionally renaming columns.
+
+        SQL allows duplicate output column names (``SELECT a.x, b.x``);
+        Table schemas do not, so duplicates are suffixed ``_2``, ``_3``…
+        """
+        if names is None:
+            names = [f.name for f in self.fields]
+            seen: dict[str, int] = {}
+            deduped = []
+            for name in names:
+                count = seen.get(name, 0) + 1
+                seen[name] = count
+                deduped.append(name if count == 1 else f"{name}_{count}")
+            names = deduped
+        schema = Schema(tuple(
+            ColumnSchema(name, column.sql_type)
+            for name, column in zip(names, self.columns)))
+        return Table(schema, list(self.columns))
+
+    # -- transforms -------------------------------------------------------------
+
+    def take(self, indices: np.ndarray) -> "Frame":
+        return Frame(self.fields, [c.take(indices) for c in self.columns],
+                     num_rows=len(indices))
+
+    def filter(self, keep: np.ndarray) -> "Frame":
+        count = int(keep.sum())
+        return Frame(self.fields, [c.filter(keep) for c in self.columns],
+                     num_rows=count)
+
+    def slice(self, start: int, stop: int) -> "Frame":
+        stop = min(stop, self.num_rows)
+        start = min(start, stop)
+        return Frame(self.fields,
+                     [c.slice(start, stop) for c in self.columns],
+                     num_rows=stop - start)
+
+    def concat(self, other: "Frame") -> "Frame":
+        if len(self.fields) != len(other.fields):
+            raise ExecutionError("cannot concat frames of different widths")
+        columns = [a.concat(b)
+                   for a, b in zip(self.columns, other.columns)]
+        fields = tuple(
+            Field(f.qualifier, f.name, c.sql_type)
+            for f, c in zip(self.fields, columns))
+        return Frame(fields, columns, self.num_rows + other.num_rows)
+
+    def join_pairs(self, other: "Frame", left_idx: np.ndarray,
+                   right_idx: np.ndarray) -> "Frame":
+        """Gather a joined frame from index pairs; -1 emits NULL (outer pad)."""
+        columns = [c.take(left_idx) for c in self.columns]
+        columns += [c.take(right_idx) for c in other.columns]
+        fields = (*self.fields, *other.fields)
+        return Frame(fields, columns, len(left_idx))

@@ -1,0 +1,140 @@
+"""Vectorized kernels shared by join, aggregation, distinct and sort.
+
+The central abstraction is *key encoding*: a list of columns is turned into
+a single int64 code per row via per-column factorization and mixed-radix
+combination.  Join keys encode NULL as -1 (never matches); grouping keys
+encode NULL as an ordinary bucket (SQL groups NULLs together).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..storage import Column
+
+
+def factorize(column: Column, nulls_match: bool) -> tuple[np.ndarray, int]:
+    """Per-column dense codes.
+
+    Returns (codes, cardinality).  Valid values get codes in
+    [0, n_unique); NULLs get ``n_unique`` when ``nulls_match`` (they form
+    their own group) or -1 otherwise (they never match anything).
+    """
+    count = len(column)
+    codes = np.full(count, -1, dtype=np.int64)
+    valid = ~column.mask
+    n_unique = 0
+    if valid.any():
+        values = column.data[valid]
+        if values.dtype == object:
+            # np.unique on object arrays works for homogeneous str data.
+            uniques, inverse = np.unique(values.astype(str),
+                                         return_inverse=True)
+        else:
+            uniques, inverse = np.unique(values, return_inverse=True)
+        codes[valid] = inverse
+        n_unique = len(uniques)
+    if nulls_match:
+        codes[~valid] = n_unique
+        return codes, n_unique + 1
+    return codes, n_unique
+
+
+def encode_keys(columns: Sequence[Column],
+                nulls_match: bool) -> np.ndarray:
+    """Combine key columns into one int64 code per row (-1 = no-match)."""
+    if not columns:
+        raise ValueError("encode_keys needs at least one column")
+    combined = None
+    for column in columns:
+        codes, cardinality = factorize(column, nulls_match)
+        if combined is None:
+            combined = codes
+            combined_card = max(cardinality, 1)
+            continue
+        bad = (combined < 0) | (codes < 0)
+        combined = combined * max(cardinality, 1) + codes
+        combined[bad] = -1
+        combined_card *= max(cardinality, 1)
+        if combined_card > (1 << 62):
+            # Mixed-radix overflow: re-densify before continuing.
+            valid = combined >= 0
+            if valid.any():
+                _, inverse = np.unique(combined[valid], return_inverse=True)
+                combined = combined.copy()
+                combined[valid] = inverse
+                combined_card = int(inverse.max()) + 1 if len(inverse) else 1
+            else:
+                combined_card = 1
+    return combined
+
+
+def equi_join_pairs(left_codes: np.ndarray,
+                    right_codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """All matching (left_row, right_row) index pairs for equal codes.
+
+    Codes of -1 never match.  Pairs are grouped by left row in left-row
+    order, which downstream outer-join padding relies on.
+    """
+    valid_right = right_codes >= 0
+    right_positions = np.nonzero(valid_right)[0]
+    right_valid_codes = right_codes[valid_right]
+    order = np.argsort(right_valid_codes, kind="stable")
+    sorted_codes = right_valid_codes[order]
+    sorted_positions = right_positions[order]
+
+    valid_left = left_codes >= 0
+    lo = np.searchsorted(sorted_codes, left_codes, "left")
+    hi = np.searchsorted(sorted_codes, left_codes, "right")
+    counts = np.where(valid_left, hi - lo, 0)
+
+    total = int(counts.sum())
+    left_idx = np.repeat(np.arange(len(left_codes), dtype=np.int64), counts)
+    if total == 0:
+        return left_idx, np.empty(0, dtype=np.int64)
+    starts = np.repeat(lo, counts)
+    cumulative = np.cumsum(counts)
+    first_of_row = np.repeat(cumulative - counts, counts)
+    offsets = np.arange(total, dtype=np.int64) - first_of_row
+    right_idx = sorted_positions[starts + offsets]
+    return left_idx, right_idx
+
+
+def group_ids(codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Dense group ids plus the first-row index of each group.
+
+    ``codes`` must have no -1 entries (use nulls_match=True encoding).
+    """
+    uniques, first_index, inverse = np.unique(
+        codes, return_index=True, return_inverse=True)
+    del uniques
+    return inverse.astype(np.int64), first_index.astype(np.int64)
+
+
+def distinct_indices(columns: Sequence[Column]) -> np.ndarray:
+    """Row indices keeping the first occurrence of each distinct row."""
+    if not columns:
+        return np.zeros(1, dtype=np.int64)
+    codes = encode_keys(columns, nulls_match=True)
+    _, first_index = group_ids(codes)
+    return np.sort(first_index)
+
+
+def sort_indices(key_columns: Sequence[Column],
+                 ascending: Sequence[bool]) -> np.ndarray:
+    """Stable multi-key sort order.  NULLs sort last under ASC and first
+    under DESC (treated as the largest value, PostgreSQL's default)."""
+    if not key_columns:
+        return np.arange(0, dtype=np.int64)
+    sort_keys = []
+    for column, asc in zip(key_columns, ascending):
+        codes, cardinality = factorize(column, nulls_match=False)
+        # NULLs become the largest rank.
+        ranks = np.where(codes < 0, cardinality, codes)
+        if not asc:
+            ranks = -ranks
+        sort_keys.append(ranks)
+    # np.lexsort uses the *last* key as primary.
+    return np.lexsort(tuple(reversed(sort_keys))).astype(np.int64)

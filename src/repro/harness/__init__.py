@@ -1,0 +1,20 @@
+"""Benchmark harness: timing, comparison records, paper-style reports."""
+
+from .experiment import Comparison, Measurement, time_callable, time_query
+from .reporting import (
+    comparison_rows,
+    format_table,
+    print_figure,
+    print_series,
+)
+
+__all__ = [
+    "Comparison",
+    "Measurement",
+    "time_callable",
+    "time_query",
+    "comparison_rows",
+    "format_table",
+    "print_figure",
+    "print_series",
+]

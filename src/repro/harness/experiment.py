@@ -1,0 +1,74 @@
+"""Experiment running utilities shared by the benchmark harness.
+
+Benchmarks time *queries against fresh engine state* — iterative CTE
+execution mutates only registry temporaries, so a single Database can be
+reused across repetitions; the helpers here standardize warmup, repeats,
+and the paper-style comparison records.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..engine import Database
+
+
+@dataclass
+class Measurement:
+    """Wall-clock timing of one configuration."""
+
+    label: str
+    seconds: float
+    repeats: int
+    all_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def stdev(self) -> float:
+        if len(self.all_seconds) < 2:
+            return 0.0
+        return statistics.stdev(self.all_seconds)
+
+
+def time_callable(label: str, fn: Callable[[], object],
+                  repeats: int = 3, warmup: int = 1) -> Measurement:
+    """Median-of-repeats timing with warmup runs."""
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return Measurement(label, statistics.median(samples), repeats, samples)
+
+
+def time_query(db: Database, sql: str, repeats: int = 3,
+               warmup: int = 1, label: Optional[str] = None) -> Measurement:
+    return time_callable(label or sql.strip().splitlines()[0],
+                         lambda: db.execute(sql), repeats, warmup)
+
+
+@dataclass
+class Comparison:
+    """One paper-figure data point: baseline vs optimized."""
+
+    name: str
+    baseline: Measurement
+    optimized: Measurement
+
+    @property
+    def improvement_pct(self) -> float:
+        """Percentage faster than baseline (paper's headline metric)."""
+        if self.baseline.seconds == 0:
+            return 0.0
+        return 100.0 * (1.0 - self.optimized.seconds
+                        / self.baseline.seconds)
+
+    @property
+    def speedup(self) -> float:
+        if self.optimized.seconds == 0:
+            return float("inf")
+        return self.baseline.seconds / self.optimized.seconds

@@ -1,0 +1,6 @@
+"""External/middleware baseline: iterative CTEs driven from outside the
+engine through temp-table DDL and per-iteration DML (paper §II)."""
+
+from .driver import MiddlewareDriver, MiddlewareReport
+
+__all__ = ["MiddlewareDriver", "MiddlewareReport"]

@@ -1,0 +1,219 @@
+"""The external/middleware baseline (paper §II, the approach of [16]).
+
+This driver executes an iterative CTE *outside* the engine, exactly the
+way Fig. 1 sketches: it creates temporary tables through DDL, runs the
+non-iterative part as an INSERT ... SELECT, then loops DELETE + INSERT +
+UPDATE statements, checking the termination condition client-side with
+extra SELECT count(*) round trips.  Every operation is a separate
+statement the engine parses, plans, locks and schedules independently —
+the overheads the native rewrite avoids.
+
+The driver accepts the *same SQL text* as the native engine, so the
+benchmarks run identical queries through both paths.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from dataclasses import dataclass
+
+from ..errors import PlanError, ReproError
+from ..engine import Database, QueryResult
+from ..sql import ast, parse, statement_to_sql
+from ..types import SqlType
+
+
+_TYPE_NAMES = {
+    SqlType.INTEGER: "int",
+    SqlType.FLOAT: "float",
+    SqlType.NUMERIC: "float",
+    SqlType.BOOLEAN: "boolean",
+    SqlType.TEXT: "text",
+    SqlType.NULL: "float",
+}
+
+
+@dataclass
+class MiddlewareReport:
+    """What the driver did: statement counts per kind, iterations run."""
+
+    statements_issued: int = 0
+    ddl_statements: int = 0
+    dml_statements: int = 0
+    probe_queries: int = 0
+    iterations: int = 0
+
+
+class MiddlewareDriver:
+    """Runs iterative CTE queries as external statement sequences."""
+
+    def __init__(self, db: Database):
+        self._db = db
+        self._names = itertools.count()
+        self.report = MiddlewareReport()
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, sql: str) -> QueryResult:
+        """Execute an iterative-CTE query the middleware way."""
+        statement = parse(sql)
+        if not isinstance(statement, (ast.Select, ast.SetOp)) \
+                or statement.with_clause is None:
+            raise PlanError("the middleware driver expects a query with "
+                            "an iterative CTE")
+        iterative = [cte for cte in statement.with_clause.ctes
+                     if isinstance(cte, ast.IterativeCte)]
+        others = [cte for cte in statement.with_clause.ctes
+                  if not isinstance(cte, ast.IterativeCte)]
+        if len(iterative) != 1:
+            raise PlanError("the middleware driver supports exactly one "
+                            "iterative CTE per query")
+        if others:
+            raise PlanError("mixing regular CTEs is not supported by the "
+                            "middleware driver")
+        return self._run_single(iterative[0], statement)
+
+    # -- internals -------------------------------------------------------------
+
+    def _execute(self, sql: str, kind: str) -> QueryResult:
+        self.report.statements_issued += 1
+        if kind == "ddl":
+            self.report.ddl_statements += 1
+        elif kind == "dml":
+            self.report.dml_statements += 1
+        else:
+            self.report.probe_queries += 1
+        return self._db.execute(sql)
+
+    def _run_single(self, cte: ast.IterativeCte,
+                    statement: ast.SelectLike) -> QueryResult:
+        suffix = next(self._names)
+        main = f"__mw_main_{suffix}"
+        working = f"__mw_working_{suffix}"
+
+        init_sql = statement_to_sql(cte.init)
+        # Probe the result shape once to derive the temp-table schema —
+        # middleware can only see result-set metadata.
+        probe = self._execute(f"{init_sql} LIMIT 0", "probe")
+        schema = probe.table.schema
+        columns = [c.lower() for c in (cte.columns or schema.names)]
+        if len(columns) != len(schema.columns):
+            raise PlanError(
+                f"iterative CTE {cte.name!r} declares {len(columns)} "
+                f"columns but its query produces {len(schema.columns)}")
+        types = [_TYPE_NAMES[c.sql_type] for c in schema.columns]
+        # Numeric columns may widen in the iterative part; declare float.
+        types = ["float" if t == "int" else t for t in types]
+        column_ddl = ", ".join(f"{n} {t}" for n, t in zip(columns, types))
+
+        key = columns[0]
+        try:
+            self._execute(f"CREATE TABLE {main} ({column_ddl})", "ddl")
+            self._execute(f"CREATE TABLE {working} ({column_ddl})", "ddl")
+            self._execute(f"INSERT INTO {main} {init_sql}", "dml")
+
+            step_sql = statement_to_sql(
+                _rebind_cte(cte.step, cte.name, main))
+            update_sql = self._update_statement(main, working, columns, key)
+
+            iterations = 0
+            total_updates = 0
+            while True:
+                self._execute(f"DELETE FROM {working}", "dml")
+                self._execute(f"INSERT INTO {working} {step_sql}", "dml")
+                changed = 0
+                if cte.termination.kind in (ast.TerminationKind.UPDATES,
+                                            ast.TerminationKind.DELTA):
+                    changed = self._count_changes(main, working, columns,
+                                                  key)
+                self._execute(update_sql, "dml")
+                iterations += 1
+                total_updates += changed
+                if self._terminated(cte.termination, main, iterations,
+                                    total_updates, changed):
+                    break
+            self.report.iterations += iterations
+
+            final = copy.copy(statement)
+            final.with_clause = None
+            final = _rebind_cte(final, cte.name, main)
+            return self._execute(statement_to_sql(final), "probe")
+        finally:
+            self._execute(f"DROP TABLE IF EXISTS {working}", "ddl")
+            self._execute(f"DROP TABLE IF EXISTS {main}", "ddl")
+
+    def _update_statement(self, main: str, working: str,
+                          columns: list[str], key: str) -> str:
+        assignments = ", ".join(f"{c} = w.{c}" for c in columns
+                                if c != key)
+        return (f"UPDATE {main} SET {assignments} FROM {working} AS w "
+                f"WHERE {main}.{key} = w.{key}")
+
+    def _count_changes(self, main: str, working: str,
+                       columns: list[str], key: str) -> int:
+        differs = " OR ".join(
+            f"w.{c} <> m.{c}" for c in columns if c != key)
+        sql = (f"SELECT count(*) FROM {working} AS w "
+               f"JOIN {main} AS m ON w.{key} = m.{key} "
+               f"WHERE {differs}")
+        return int(self._execute(sql, "probe").scalar() or 0)
+
+    def _terminated(self, termination: ast.Termination, main: str,
+                    iterations: int, total_updates: int,
+                    changed: int) -> bool:
+        kind = termination.kind
+        if kind is ast.TerminationKind.ITERATIONS:
+            return iterations >= termination.count
+        if kind is ast.TerminationKind.UPDATES:
+            return total_updates >= termination.count
+        if kind is ast.TerminationKind.DELTA:
+            comparator = termination.comparator
+            target = termination.count
+            return {"=": changed == target, "<": changed < target,
+                    "<=": changed <= target, ">": changed > target,
+                    ">=": changed >= target}[comparator]
+        from ..sql.printer import expr_to_sql
+        expr = expr_to_sql(termination.expr)
+        count = int(self._execute(
+            f"SELECT count(*) FROM {main} WHERE {expr}", "probe").scalar())
+        if kind is ast.TerminationKind.DATA_ANY:
+            return count > 0
+        total = int(self._execute(
+            f"SELECT count(*) FROM {main}", "probe").scalar())
+        return count >= total
+
+
+def _rebind_cte(query: ast.SelectLike, cte_name: str,
+                table: str) -> ast.SelectLike:
+    """Rewrite references to the CTE into references to the temp table,
+    keeping the original name as the alias so column qualifiers hold."""
+    key = cte_name.lower()
+
+    def rebind_relation(relation: ast.Relation) -> ast.Relation:
+        if isinstance(relation, ast.TableRef):
+            if relation.name.lower() == key:
+                return ast.TableRef(table,
+                                    alias=relation.alias or relation.name)
+            return relation
+        if isinstance(relation, ast.Join):
+            return ast.Join(relation.kind,
+                            rebind_relation(relation.left),
+                            rebind_relation(relation.right),
+                            relation.condition)
+        if isinstance(relation, ast.SubqueryRef):
+            return ast.SubqueryRef(rebind_query(relation.query),
+                                   relation.alias)
+        return relation
+
+    def rebind_query(node: ast.SelectLike) -> ast.SelectLike:
+        node = copy.copy(node)
+        if isinstance(node, ast.SetOp):
+            node.left = rebind_query(node.left)
+            node.right = rebind_query(node.right)
+            return node
+        if node.from_clause is not None:
+            node.from_clause = rebind_relation(node.from_clause)
+        return node
+
+    return rebind_query(query)

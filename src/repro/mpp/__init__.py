@@ -1,0 +1,44 @@
+"""Simulated shared-nothing distribution layer (MPPDB substrate).
+
+The single-node engine (``repro.engine``) executes plans; this package
+models the *placement* dimension of MPPDB — hash distribution, exchange
+motions, and the shuffle decisions the planner makes — with real
+partitioning code and per-motion accounting.  See DESIGN.md for why the
+simulation preserves the paper-relevant behaviour.
+"""
+
+from .cluster import Cluster, DistributedTable, MotionStats
+from .distribution import (
+    Distribution,
+    DistributionKind,
+    hash_partition_indices,
+    split_table,
+)
+from .iterative import (
+    DistributedPageRankResult,
+    distributed_pagerank,
+)
+from .exchange import (
+    JoinDecision,
+    JoinStrategy,
+    distributed_aggregate_sum,
+    distributed_join,
+    plan_join,
+)
+
+__all__ = [
+    "Cluster",
+    "DistributedTable",
+    "MotionStats",
+    "Distribution",
+    "DistributionKind",
+    "hash_partition_indices",
+    "split_table",
+    "DistributedPageRankResult",
+    "distributed_pagerank",
+    "JoinDecision",
+    "JoinStrategy",
+    "distributed_aggregate_sum",
+    "distributed_join",
+    "plan_join",
+]

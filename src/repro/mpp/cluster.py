@@ -1,0 +1,150 @@
+"""The simulated shared-nothing cluster.
+
+A :class:`Cluster` holds N segments, each with its own partition of every
+distributed table.  Segments execute sequentially (this is a simulation of
+placement and movement, not of parallel speedup); what the benchmarks read
+is the :class:`MotionStats` — rows and bytes crossing the interconnect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..errors import CatalogError
+from ..storage import Table
+from .distribution import (
+    Distribution,
+    DistributionKind,
+    hash_partition_indices,
+    split_table,
+)
+
+
+@dataclass
+class MotionStats:
+    """Interconnect traffic counters."""
+
+    shuffles: int = 0
+    broadcasts: int = 0
+    rows_moved: int = 0
+    bytes_moved: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+    def reset(self) -> None:
+        self.shuffles = 0
+        self.broadcasts = 0
+        self.rows_moved = 0
+        self.bytes_moved = 0
+
+
+@dataclass
+class DistributedTable:
+    """One logical table: a distribution and per-segment partitions."""
+
+    name: str
+    distribution: Distribution
+    partitions: list[Table]
+
+    @property
+    def num_rows(self) -> int:
+        return sum(p.num_rows for p in self.partitions)
+
+    @property
+    def schema(self):
+        return self.partitions[0].schema
+
+    def gather(self) -> Table:
+        """Union of all partitions (the gather motion to the coordinator)."""
+        out = self.partitions[0]
+        for part in self.partitions[1:]:
+            out = out.concat(part)
+        return out
+
+
+class Cluster:
+    """A fixed-size shared-nothing cluster."""
+
+    def __init__(self, segments: int = 4):
+        if segments < 1:
+            raise ValueError("a cluster needs at least one segment")
+        self.segments = segments
+        self.motion = MotionStats()
+        self._tables: dict[str, DistributedTable] = {}
+
+    # -- table placement ------------------------------------------------------
+
+    def distribute(self, name: str, table: Table,
+                   distribution: Distribution) -> DistributedTable:
+        """Load a table into the cluster under the given distribution.
+
+        Loading charges one full shuffle (the rows travel from the
+        coordinator to their segments), matching how an MPP load works.
+        """
+        if distribution.kind is DistributionKind.HASHED:
+            key = distribution.key_column
+            if key is None:
+                raise CatalogError("hashed distribution needs a key column")
+            assignment = hash_partition_indices(table.column(key),
+                                                self.segments)
+            partitions = split_table(table, assignment, self.segments)
+        elif distribution.kind is DistributionKind.REPLICATED:
+            partitions = [table.copy() for _ in range(self.segments)]
+        else:  # ROUND_ROBIN
+            assignment = np.arange(table.num_rows,
+                                   dtype=np.int64) % self.segments
+            partitions = split_table(table, assignment, self.segments)
+
+        moved = sum(p.num_rows for p in partitions)
+        self.motion.rows_moved += moved
+        self.motion.bytes_moved += sum(p.nbytes() for p in partitions)
+        self.motion.shuffles += 1
+
+        distributed = DistributedTable(name.lower(), distribution,
+                                       partitions)
+        self._tables[name.lower()] = distributed
+        return distributed
+
+    def table(self, name: str) -> DistributedTable:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no distributed table {name!r}") from None
+
+    def drop(self, name: str) -> None:
+        self._tables.pop(name.lower(), None)
+
+    # -- motions ---------------------------------------------------------------
+
+    def redistribute(self, table: DistributedTable,
+                     key_column: str) -> DistributedTable:
+        """Shuffle a distributed table onto a new hash key."""
+        target = Distribution.hashed(key_column)
+        if table.distribution == target:
+            return table
+        gathered = table.gather()
+        assignment = hash_partition_indices(gathered.column(key_column),
+                                            self.segments)
+        partitions = split_table(gathered, assignment, self.segments)
+        self.motion.shuffles += 1
+        # On average (S-1)/S of the rows change segments; we charge all
+        # rows conservatively, as MPP engines do for costing.
+        self.motion.rows_moved += gathered.num_rows
+        self.motion.bytes_moved += gathered.nbytes()
+        return DistributedTable(table.name, target, partitions)
+
+    def broadcast(self, table: DistributedTable) -> DistributedTable:
+        """Replicate a distributed table to every segment."""
+        if table.distribution.kind is DistributionKind.REPLICATED:
+            return table
+        gathered = table.gather()
+        self.motion.broadcasts += 1
+        self.motion.rows_moved += gathered.num_rows * self.segments
+        self.motion.bytes_moved += gathered.nbytes() * self.segments
+        partitions = [gathered.copy() for _ in range(self.segments)]
+        return DistributedTable(table.name, Distribution.replicated(),
+                                partitions)

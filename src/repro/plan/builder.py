@@ -1,0 +1,735 @@
+"""AST → logical plan builder (binder + planner front half).
+
+The builder resolves names against the catalog and CTE scope, expands
+``*``, decomposes aggregate queries into key/aggregate/output form, and
+produces the logical operator tree the rewrite subsystem optimizes.
+
+Iterative and recursive CTEs are *not* handled here — they are functional
+rewrites producing step programs (see :mod:`repro.core.rewrite`).  The
+builder only sees their already-materialized results through
+``cte_bindings`` (name → result fields), plus regular CTEs which it expands
+inline exactly like view references (the paper lists view expansion as the
+archetypal functional rewrite).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import replace as dataclass_replace
+from dataclasses import dataclass, field as dataclass_field
+from typing import Optional, Sequence
+
+from ..errors import BindError, PlanError
+from ..sql import ast
+from ..storage import Catalog
+from ..types import SqlType, common_type
+from .binding import infer_type, resolve_column
+from .logical import (
+    AggregateSpec,
+    Field,
+    LogicalAggregate,
+    LogicalDistinct,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalOp,
+    LogicalProject,
+    LogicalRename,
+    LogicalScan,
+    LogicalSemiJoin,
+    LogicalSetDifference,
+    LogicalSort,
+    LogicalTempScan,
+    LogicalUnion,
+    LogicalValues,
+)
+
+
+@dataclass
+class CteBinding:
+    """A CTE whose result is (or will be) materialized in the registry."""
+
+    result_name: str
+    columns: tuple[tuple[str, SqlType], ...]  # declared output columns
+
+
+@dataclass
+class PlanContext:
+    """Everything the builder needs to resolve names."""
+
+    catalog: Catalog
+    cte_bindings: dict[str, CteBinding] = dataclass_field(default_factory=dict)
+    # name -> (body, declared column names or None)
+    inline_ctes: dict[str, tuple[ast.SelectLike, Optional[list[str]]]] = \
+        dataclass_field(default_factory=dict)
+    _counter: itertools.count = dataclass_field(
+        default_factory=lambda: itertools.count())
+
+    def child(self) -> "PlanContext":
+        """A nested scope sharing the catalog and name counter."""
+        return PlanContext(self.catalog, dict(self.cte_bindings),
+                           dict(self.inline_ctes), self._counter)
+
+    def fresh_name(self, prefix: str) -> str:
+        return f"__{prefix}{next(self._counter)}"
+
+
+def build_statement(query: ast.SelectLike, context: PlanContext) -> LogicalOp:
+    """Build a SELECT or set-operation statement into a logical plan.
+
+    The statement's WITH clause must contain only regular CTEs; iterative
+    and recursive ones are peeled off by the engine before this is called.
+    """
+    context = _absorb_with_clause(query, context)
+    return _build_query(query, context, qualifier=None)
+
+
+def _absorb_with_clause(query: ast.SelectLike,
+                        context: PlanContext) -> PlanContext:
+    if query.with_clause is None:
+        return context
+    context = context.child()
+    for cte in query.with_clause.ctes:
+        if isinstance(cte, ast.IterativeCte):
+            raise PlanError(
+                "iterative CTE reached the plain builder; the engine must "
+                "rewrite it first")
+        if cte.recursive:
+            raise PlanError(
+                "recursive CTE reached the plain builder; the engine must "
+                "rewrite it first")
+        context.inline_ctes[cte.name.lower()] = (cte.query, cte.columns)
+    return context
+
+
+# ---------------------------------------------------------------------------
+# Query level
+# ---------------------------------------------------------------------------
+
+
+def _build_query(query: ast.SelectLike, context: PlanContext,
+                 qualifier: Optional[str],
+                 rename_to: Optional[Sequence[str]] = None) -> LogicalOp:
+    if isinstance(query, ast.SetOp):
+        plan = _build_setop(query, context, qualifier)
+    else:
+        plan = _build_select(query, context, qualifier)
+    if rename_to is not None:
+        plan = rename_outputs(plan, rename_to, qualifier)
+    if query.order_by:
+        plan = _attach_order_by(plan, query.order_by)
+    if query.limit is not None or query.offset is not None:
+        plan = LogicalLimit(plan, query.limit, query.offset or 0)
+    return plan
+
+
+def _binds_in(expr: ast.Expr, fields: tuple[Field, ...]) -> bool:
+    try:
+        _bind_expression(expr, fields)
+        return True
+    except BindError:
+        return False
+
+
+def _attach_order_by(plan: LogicalOp,
+                     order_by: Sequence[ast.OrderItem]) -> LogicalOp:
+    """Plan the ORDER BY clause.
+
+    Keys normally bind against the output columns (aliases included).  SQL
+    also allows ordering by *input* columns not present in the output
+    (``SELECT name FROM t ORDER BY age``) and by expressions over the
+    GROUP BY keys; those are carried through as hidden columns and dropped
+    after the sort.
+    """
+    if all(_binds_in(item.expr, plan.fields) for item in order_by):
+        keys = tuple((item.expr, item.ascending) for item in order_by)
+        return LogicalSort(plan, keys)
+    if isinstance(plan, LogicalProject):
+        return _order_by_through_project(plan, order_by)
+    if isinstance(plan, LogicalAggregate):
+        return _order_by_through_aggregate(plan, order_by)
+    for item in order_by:  # re-raise the binding error
+        _bind_expression(item.expr, plan.fields)
+    raise BindError("unresolvable ORDER BY")  # pragma: no cover
+
+
+def _order_by_through_project(project: LogicalProject,
+                              order_by: Sequence[ast.OrderItem]
+                              ) -> LogicalOp:
+    """Sort with keys over output aliases and/or the projection's input."""
+    from ..rewrite.expr_utils import map_column_refs
+
+    child = project.child
+    body_exprs = [(expr, f"__c{i}")
+                  for i, (expr, _name) in enumerate(project.exprs)]
+    body_fields = [Field(None, f"__c{i}", f.sql_type)
+                   for i, f in enumerate(project.fields)]
+    hidden: list[tuple[ast.Expr, str, Field]] = []
+    keys: list[tuple[ast.Expr, bool]] = []
+
+    for item in order_by:
+        if _binds_in(item.expr, project.fields):
+            def to_slot(ref: ast.ColumnRef) -> ast.Expr:
+                index = resolve_column(project.fields, ref)
+                return ast.ColumnRef(f"__c{index}")
+            keys.append((map_column_refs(item.expr, to_slot),
+                         item.ascending))
+            continue
+        if _binds_in(item.expr, child.fields):
+            slot = f"__o{len(hidden)}"
+            field = Field(None, slot, infer_type(item.expr, child.fields))
+            hidden.append((item.expr, slot, field))
+            keys.append((ast.ColumnRef(slot), item.ascending))
+            continue
+        _bind_expression(item.expr, child.fields)  # raises BindError
+
+    widened = LogicalProject(
+        child,
+        tuple(body_exprs + [(expr, slot) for expr, slot, _ in hidden]),
+        None,
+        tuple(body_fields + [field for _, _, field in hidden]))
+    sorted_plan = LogicalSort(widened, tuple(keys))
+    final_exprs = tuple((ast.ColumnRef(f"__c{i}"), f.name)
+                        for i, f in enumerate(project.fields))
+    return LogicalProject(sorted_plan, final_exprs, project.qualifier,
+                          project.fields)
+
+
+def _order_by_through_aggregate(agg: LogicalAggregate,
+                                order_by: Sequence[ast.OrderItem]
+                                ) -> LogicalOp:
+    """Sort an aggregate by expressions over its GROUP BY keys."""
+    extra: list[tuple[ast.Expr, str, Field]] = []
+    keys: list[tuple[ast.Expr, bool]] = []
+
+    for item in order_by:
+        if _binds_in(item.expr, agg.fields):
+            keys.append((item.expr, item.ascending))
+            continue
+        rewritten = _rewrite_over_aggregate_slots(item.expr, agg)
+        if rewritten is None:
+            _bind_expression(item.expr, agg.fields)  # raises BindError
+            raise BindError("unresolvable ORDER BY")  # pragma: no cover
+        slot = f"__order{len(extra)}"
+        field = Field(None, slot, infer_type(item.expr, agg.child.fields))
+        extra.append((rewritten, slot, field))
+        keys.append((ast.ColumnRef(slot), item.ascending))
+
+    if not extra:
+        return LogicalSort(agg, tuple(keys))
+    widened = dataclass_replace(
+        agg,
+        outputs=agg.outputs + tuple((expr, slot)
+                                    for expr, slot, _ in extra),
+        fields=agg.fields + tuple(field for _, _, field in extra))
+    sorted_plan = LogicalSort(widened, tuple(keys))
+    final_exprs = tuple((ast.ColumnRef(f.name, f.qualifier), f.name)
+                        for f in agg.fields)
+    return LogicalProject(sorted_plan, final_exprs, agg.qualifier,
+                          agg.fields)
+
+
+def _rewrite_over_aggregate_slots(expr: ast.Expr, agg: LogicalAggregate
+                                  ) -> Optional[ast.Expr]:
+    """Rewrite an expression onto the aggregate's key/agg slots; None when
+    it references anything not derivable from them."""
+
+    def attempt(node: ast.Expr) -> ast.Expr:
+        for key_expr, slot in agg.keys:
+            if node == key_expr:
+                return ast.ColumnRef(slot)
+        if ast.is_aggregate_call(node):
+            for spec in agg.aggregates:
+                if spec.call == node:
+                    return ast.ColumnRef(spec.name)
+            return node  # unknown aggregate: validation below rejects it
+        return _rebuild(node, attempt)
+
+    rewritten = attempt(expr)
+    slot_names = {slot for _, slot in agg.keys} \
+        | {spec.name for spec in agg.aggregates}
+    for node in rewritten.walk():
+        if ast.is_aggregate_call(node):
+            return None
+        if isinstance(node, ast.ColumnRef) and node.name not in slot_names:
+            return None
+    return rewritten
+
+
+def rename_outputs(plan: LogicalOp, names: Sequence[str],
+                   qualifier: Optional[str]) -> LogicalOp:
+    """Relabel a plan's output columns positionally."""
+    if len(names) != len(plan.fields):
+        raise PlanError(
+            f"expected {len(plan.fields)} column names, got {len(names)}")
+    fields = tuple(Field(qualifier, new.lower(), f.sql_type)
+                   for f, new in zip(plan.fields, names))
+    return LogicalRename(plan, fields)
+
+
+def _build_setop(query: ast.SetOp, context: PlanContext,
+                 qualifier: Optional[str]) -> LogicalOp:
+    left = _build_query(query.left, context, qualifier=None)
+    right = _build_query(query.right, context, qualifier=None)
+    if len(left.fields) != len(right.fields):
+        raise PlanError(
+            f"{query.kind.value} arms have different column counts")
+    fields = tuple(
+        Field(qualifier, lf.name,
+              common_type(lf.sql_type, rf.sql_type))
+        for lf, rf in zip(left.fields, right.fields))
+    if query.kind in (ast.SetOpKind.UNION, ast.SetOpKind.UNION_ALL):
+        return LogicalUnion(left, right,
+                            all=query.kind is ast.SetOpKind.UNION_ALL,
+                            fields=fields)
+    return LogicalSetDifference(
+        left, right,
+        intersect=query.kind is ast.SetOpKind.INTERSECT,
+        fields=fields)
+
+
+# ---------------------------------------------------------------------------
+# SELECT core
+# ---------------------------------------------------------------------------
+
+
+def _build_select(select: ast.Select, context: PlanContext,
+                  qualifier: Optional[str]) -> LogicalOp:
+    context = _absorb_with_clause(select, context)
+
+    if select.from_clause is not None:
+        plan = build_relation(select.from_clause, context)
+    else:
+        plan = LogicalValues(rows=((),), fields=())
+
+    if select.where is not None:
+        if ast.contains_aggregate(select.where):
+            raise BindError("aggregate functions are not allowed in WHERE")
+        plan = _apply_where(plan, select.where, context)
+
+    items = _expand_stars(select.items, plan.fields)
+    has_aggregates = (bool(select.group_by)
+                      or any(ast.contains_aggregate(item.expr)
+                             for item in items)
+                      or (select.having is not None))
+
+    if has_aggregates:
+        plan = _build_aggregate(plan, select, items, qualifier)
+    else:
+        exprs = []
+        fields = []
+        for i, item in enumerate(items):
+            name = _output_name(item, i)
+            _bind_expression(item.expr, plan.fields)
+            exprs.append((item.expr, name))
+            fields.append(Field(qualifier, name,
+                                infer_type(item.expr, plan.fields)))
+        plan = LogicalProject(plan, tuple(exprs), qualifier, tuple(fields))
+
+    if select.distinct:
+        plan = LogicalDistinct(plan)
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# WHERE planning: filters plus subquery-predicate decorrelation
+# ---------------------------------------------------------------------------
+
+
+def _split_where_conjuncts(expr: ast.Expr) -> list[ast.Expr]:
+    if isinstance(expr, ast.BinaryOp) and expr.op is ast.BinaryOperator.AND:
+        return (_split_where_conjuncts(expr.left)
+                + _split_where_conjuncts(expr.right))
+    return [expr]
+
+
+def _apply_where(plan: LogicalOp, where: ast.Expr,
+                 context: PlanContext) -> LogicalOp:
+    """Plan a WHERE clause: subquery predicates (EXISTS / IN-subquery)
+    become semi/anti joins; everything else becomes an ordinary filter."""
+    plain: list[ast.Expr] = []
+    for conjunct in _split_where_conjuncts(where):
+        # Normalize NOT over a subquery predicate.
+        if isinstance(conjunct, ast.UnaryOp) \
+                and conjunct.op is ast.UnaryOperator.NOT:
+            inner = conjunct.operand
+            if isinstance(inner, ast.ExistsExpr):
+                conjunct = ast.ExistsExpr(inner.query, not inner.negated)
+            elif isinstance(inner, ast.InSubquery):
+                conjunct = ast.InSubquery(inner.operand, inner.query,
+                                          not inner.negated)
+        if isinstance(conjunct, ast.ExistsExpr):
+            plan = _plan_exists(plan, conjunct, context)
+        elif isinstance(conjunct, ast.InSubquery):
+            plan = _plan_in_subquery(plan, conjunct, context)
+        else:
+            _reject_nested_subquery_predicates(conjunct)
+            _bind_expression(conjunct, plan.fields)
+            plain.append(conjunct)
+    remainder = _conjoin_list(plain)
+    if remainder is not None:
+        plan = LogicalFilter(plan, remainder)
+    return plan
+
+
+def _conjoin_list(conjuncts: list[ast.Expr]) -> Optional[ast.Expr]:
+    if not conjuncts:
+        return None
+    result = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        result = ast.BinaryOp(ast.BinaryOperator.AND, result, conjunct)
+    return result
+
+
+def _reject_nested_subquery_predicates(expr: ast.Expr) -> None:
+    for node in expr.walk():
+        if isinstance(node, (ast.ExistsExpr, ast.InSubquery)):
+            raise PlanError(
+                "EXISTS/IN subqueries are only supported as top-level "
+                "WHERE conjuncts (optionally under a single NOT)")
+
+
+def _partition_subquery_where(sub: ast.Select, sub_rel: LogicalOp,
+                              outer_fields: tuple[Field, ...]):
+    """Split a correlated subquery's WHERE into local and correlated
+    conjuncts.  Correlated ones must bind against outer+inner fields."""
+    local: list[ast.Expr] = []
+    correlated: list[ast.Expr] = []
+    if sub.where is None:
+        return local, correlated
+    combined = (*outer_fields, *sub_rel.fields)
+    for conjunct in _split_where_conjuncts(sub.where):
+        _reject_nested_subquery_predicates(conjunct)
+        if _binds_in(conjunct, sub_rel.fields):
+            local.append(conjunct)
+        else:
+            _bind_expression(conjunct, combined)  # raises if unresolvable
+            correlated.append(conjunct)
+    return local, correlated
+
+
+def _is_simple_select(sub: ast.SelectLike) -> bool:
+    return (isinstance(sub, ast.Select)
+            and not sub.group_by and sub.having is None
+            and not sub.distinct and sub.limit is None
+            and sub.offset is None and sub.with_clause is None
+            and not any(ast.contains_aggregate(item.expr)
+                        for item in sub.items))
+
+
+def _plan_exists(plan: LogicalOp, expr: ast.ExistsExpr,
+                 context: PlanContext) -> LogicalOp:
+    sub = expr.query
+    if not _is_simple_select(sub) or sub.from_clause is None:
+        # Aggregated / set-op / FROM-less subqueries: only the
+        # uncorrelated form is supported — build it standalone.
+        sub_plan = _build_query(sub, context.child(), qualifier=None)
+        return LogicalSemiJoin(plan, sub_plan, condition=None,
+                               anti=expr.negated)
+    sub_context = context.child()
+    sub_rel = build_relation(sub.from_clause, sub_context)
+    local, correlated = _partition_subquery_where(sub, sub_rel,
+                                                  plan.fields)
+    local_where = _conjoin_list(local)
+    if local_where is not None:
+        sub_rel = LogicalFilter(sub_rel, local_where)
+    return LogicalSemiJoin(plan, sub_rel,
+                           condition=_conjoin_list(correlated),
+                           anti=expr.negated)
+
+
+def _plan_in_subquery(plan: LogicalOp, expr: ast.InSubquery,
+                      context: PlanContext) -> LogicalOp:
+    _bind_expression(expr.operand, plan.fields)
+    sub = expr.query
+    alias = context.fresh_name("insub").strip("_")
+
+    if not _is_simple_select(sub) or sub.from_clause is None:
+        sub_plan = _build_query(sub, context.child(), qualifier=alias)
+        if len(sub_plan.fields) != 1:
+            raise PlanError("IN (subquery) requires exactly one column")
+        sub_plan = rename_outputs(sub_plan, ["__inval"], alias)
+        key_ref = ast.ColumnRef("__inval", alias)
+        condition = ast.BinaryOp(ast.BinaryOperator.EQ, expr.operand,
+                                 key_ref)
+        return LogicalSemiJoin(plan, sub_plan, condition,
+                               anti=expr.negated,
+                               null_aware=expr.negated,
+                               probe_expr=expr.operand, key_expr=key_ref)
+
+    if len(sub.items) != 1 or isinstance(sub.items[0].expr, ast.Star):
+        raise PlanError("IN (subquery) requires exactly one column")
+    sub_context = context.child()
+    sub_rel = build_relation(sub.from_clause, sub_context)
+    local, correlated = _partition_subquery_where(sub, sub_rel,
+                                                  plan.fields)
+    local_where = _conjoin_list(local)
+    if local_where is not None:
+        sub_rel = LogicalFilter(sub_rel, local_where)
+    value_expr = sub.items[0].expr
+    _bind_expression(value_expr, sub_rel.fields)
+    value_field = Field(alias, "__inval",
+                        infer_type(value_expr, sub_rel.fields))
+    sub_plan = LogicalProject(sub_rel, ((value_expr, "__inval"),),
+                              alias, (value_field,))
+    # Correlated conjuncts reference the subquery's FROM columns, which
+    # the projection hides; carry them through as extra outputs.
+    extra_exprs = []
+    extra_fields = []
+    rebased_correlated = []
+    for i, conjunct in enumerate(correlated):
+        rebased, refs = _rebase_through_projection(
+            conjunct, sub_rel.fields, alias, len(extra_exprs))
+        extra_exprs.extend(refs)
+        extra_fields.extend(
+            Field(alias, name, infer_type(original, sub_rel.fields))
+            for original, name in refs)
+        rebased_correlated.append(rebased)
+    if extra_exprs:
+        sub_plan = LogicalProject(
+            sub_rel,
+            ((value_expr, "__inval"),
+             *[(original, name) for original, name in extra_exprs]),
+            alias,
+            (value_field, *extra_fields))
+    key_ref = ast.ColumnRef("__inval", alias)
+    condition = ast.BinaryOp(ast.BinaryOperator.EQ, expr.operand, key_ref)
+    for conjunct in rebased_correlated:
+        condition = ast.BinaryOp(ast.BinaryOperator.AND, condition,
+                                 conjunct)
+    return LogicalSemiJoin(plan, sub_plan, condition,
+                           anti=expr.negated, null_aware=expr.negated,
+                           probe_expr=expr.operand, key_expr=key_ref)
+
+
+def _rebase_through_projection(conjunct: ast.Expr,
+                               inner_fields: tuple[Field, ...],
+                               alias: str, offset: int):
+    """Rewrite a correlated conjunct so inner column references go through
+    the projection: each distinct inner ref becomes an extra projected
+    column ``__corrN``.  Returns (rewritten, [(original_ref, name)])."""
+    from ..rewrite.expr_utils import map_column_refs
+
+    carried: list[tuple[ast.Expr, str]] = []
+    mapping_cache: dict[ast.ColumnRef, ast.ColumnRef] = {}
+
+    def mapping(ref: ast.ColumnRef) -> ast.Expr:
+        try:
+            resolve_column(inner_fields, ref)
+        except BindError:
+            return ref  # outer reference: untouched
+        if ref not in mapping_cache:
+            name = f"__corr{offset + len(carried)}"
+            carried.append((ref, name))
+            mapping_cache[ref] = ast.ColumnRef(name, alias)
+        return mapping_cache[ref]
+
+    rewritten = map_column_refs(conjunct, mapping)
+    return rewritten, carried
+
+
+def _output_name(item: ast.SelectItem, index: int) -> str:
+    if item.alias:
+        return item.alias.lower()
+    if isinstance(item.expr, ast.ColumnRef):
+        return item.expr.name.lower()
+    if isinstance(item.expr, ast.FunctionCall):
+        return item.expr.name.lower()
+    return f"col{index}"
+
+
+def _expand_stars(items: Sequence[ast.SelectItem],
+                  fields: tuple[Field, ...]) -> list[ast.SelectItem]:
+    expanded: list[ast.SelectItem] = []
+    for item in items:
+        if isinstance(item.expr, ast.Star):
+            table = item.expr.table
+            matched = [f for f in fields
+                       if table is None or f.qualifier == table.lower()]
+            if table is not None and not matched:
+                raise BindError(f"no table named {table!r} in scope")
+            expanded.extend(
+                ast.SelectItem(ast.ColumnRef(f.name, f.qualifier), f.name)
+                for f in matched)
+        else:
+            expanded.append(item)
+    return expanded
+
+
+def _bind_expression(expr: ast.Expr, fields: tuple[Field, ...]) -> None:
+    """Check every column reference in ``expr`` resolves."""
+    for node in expr.walk():
+        if isinstance(node, ast.ColumnRef):
+            resolve_column(fields, node)
+
+
+# ---------------------------------------------------------------------------
+# Aggregation decomposition
+# ---------------------------------------------------------------------------
+
+
+def _build_aggregate(child: LogicalOp, select: ast.Select,
+                     items: list[ast.SelectItem],
+                     qualifier: Optional[str]) -> LogicalOp:
+    keys: list[tuple[ast.Expr, str]] = []
+    for i, expr in enumerate(select.group_by):
+        if ast.contains_aggregate(expr):
+            raise BindError("aggregate functions are not allowed in GROUP BY")
+        _bind_expression(expr, child.fields)
+        keys.append((expr, f"__key{i}"))
+
+    aggregates: list[AggregateSpec] = []
+
+    def agg_slot(call: ast.FunctionCall) -> str:
+        for spec in aggregates:
+            if spec.call == call:
+                return spec.name
+        for arg in call.args:
+            if ast.contains_aggregate(arg):
+                raise BindError("nested aggregate functions are not allowed")
+            if not isinstance(arg, ast.Star):
+                _bind_expression(arg, child.fields)
+        name = f"__agg{len(aggregates)}"
+        aggregates.append(AggregateSpec(call, name))
+        return name
+
+    def rewrite(expr: ast.Expr) -> ast.Expr:
+        for key_expr, slot in keys:
+            if expr == key_expr:
+                return ast.ColumnRef(slot)
+        if ast.is_aggregate_call(expr):
+            return ast.ColumnRef(agg_slot(expr))
+        return _rebuild(expr, rewrite)
+
+    outputs: list[tuple[ast.Expr, str]] = []
+    output_fields: list[Field] = []
+    for i, item in enumerate(items):
+        name = _output_name(item, i)
+        rewritten = rewrite(item.expr)
+        outputs.append((rewritten, name))
+        output_fields.append(
+            Field(qualifier, name, infer_type(item.expr, child.fields)))
+
+    having = None
+    if select.having is not None:
+        having = rewrite(select.having)
+
+    # Every remaining column reference must point at a key or agg slot.
+    slot_names = {slot for _, slot in keys} | {s.name for s in aggregates}
+    to_check = [expr for expr, _ in outputs]
+    if having is not None:
+        to_check.append(having)
+    for expr in to_check:
+        for node in expr.walk():
+            if isinstance(node, ast.ColumnRef) and node.name not in slot_names:
+                raise BindError(
+                    f"column {node.qualified!r} must appear in GROUP BY "
+                    "or be used in an aggregate function")
+
+    return LogicalAggregate(
+        child=child,
+        keys=tuple(keys),
+        aggregates=tuple(aggregates),
+        outputs=tuple(outputs),
+        having=having,
+        qualifier=qualifier,
+        fields=tuple(output_fields),
+    )
+
+
+def _rebuild(expr: ast.Expr, rewrite) -> ast.Expr:
+    """Rebuild an expression node with rewritten children."""
+    if isinstance(expr, ast.BinaryOp):
+        return ast.BinaryOp(expr.op, rewrite(expr.left), rewrite(expr.right))
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(expr.op, rewrite(expr.operand))
+    if isinstance(expr, ast.IsNull):
+        return ast.IsNull(rewrite(expr.operand), expr.negated)
+    if isinstance(expr, ast.InList):
+        return ast.InList(rewrite(expr.operand),
+                          tuple(rewrite(item) for item in expr.items),
+                          expr.negated)
+    if isinstance(expr, ast.Between):
+        return ast.Between(rewrite(expr.operand), rewrite(expr.low),
+                           rewrite(expr.high), expr.negated)
+    if isinstance(expr, ast.Case):
+        operand = rewrite(expr.operand) if expr.operand is not None else None
+        whens = tuple((rewrite(c), rewrite(r)) for c, r in expr.whens)
+        default = rewrite(expr.default) if expr.default is not None else None
+        return ast.Case(whens, operand, default)
+    if isinstance(expr, ast.FunctionCall):
+        return ast.FunctionCall(expr.name,
+                                tuple(rewrite(a) for a in expr.args),
+                                expr.distinct)
+    if isinstance(expr, ast.Cast):
+        return ast.Cast(rewrite(expr.operand), expr.type_name)
+    return expr
+
+
+# ---------------------------------------------------------------------------
+# FROM clause
+# ---------------------------------------------------------------------------
+
+
+def build_relation(relation: ast.Relation,
+                   context: PlanContext) -> LogicalOp:
+    if isinstance(relation, ast.TableRef):
+        return _build_table_ref(relation, context)
+    if isinstance(relation, ast.SubqueryRef):
+        alias = (relation.alias or context.fresh_name("subquery")).lower()
+        inner = _build_query(relation.query, context.child(), qualifier=alias)
+        return _requalify(inner, alias)
+    if isinstance(relation, ast.Join):
+        left = build_relation(relation.left, context)
+        right = build_relation(relation.right, context)
+        _check_duplicate_bindings(left, right)
+        combined = (*left.fields, *right.fields)
+        if relation.condition is not None:
+            if ast.contains_aggregate(relation.condition):
+                raise BindError("aggregates are not allowed in JOIN ... ON")
+            _bind_expression(relation.condition, combined)
+        return LogicalJoin(relation.kind, left, right, relation.condition)
+    raise PlanError(f"unsupported relation: {type(relation).__name__}")
+
+
+def _check_duplicate_bindings(left: LogicalOp, right: LogicalOp) -> None:
+    left_names = {f.qualifier for f in left.fields if f.qualifier}
+    right_names = {f.qualifier for f in right.fields if f.qualifier}
+    shared = left_names & right_names
+    if shared:
+        raise BindError(
+            f"table name {sorted(shared)[0]!r} used twice without aliases")
+
+
+def _build_table_ref(ref: ast.TableRef, context: PlanContext) -> LogicalOp:
+    alias = (ref.alias or ref.name).lower()
+    key = ref.name.lower()
+
+    binding = context.cte_bindings.get(key)
+    if binding is not None:
+        fields = tuple(Field(alias, n, t) for n, t in binding.columns)
+        return LogicalTempScan(binding.result_name, alias, fields)
+
+    inline = context.inline_ctes.get(key)
+    if inline is not None:
+        # View expansion: plug the CTE body in, labelled with the alias.
+        body, declared = inline
+        scoped = context.child()
+        del scoped.inline_ctes[key]  # CTEs are not recursive by default
+        inner = _build_query(body, scoped, qualifier=alias)
+        if declared is not None:
+            inner = rename_outputs(inner, declared, alias)
+        return _requalify(inner, alias)
+
+    table = context.catalog.get(ref.name)
+    fields = tuple(Field(alias, c.name.lower(), c.sql_type)
+                   for c in table.schema.columns)
+    return LogicalScan(ref.name, alias, fields)
+
+
+def _requalify(plan: LogicalOp, alias: str) -> LogicalOp:
+    """Ensure a derived table's outputs are addressable as alias.column."""
+    if all(f.qualifier == alias for f in plan.fields):
+        return plan
+    fields = tuple(Field(alias, f.name, f.sql_type) for f in plan.fields)
+    return LogicalRename(plan, fields)

@@ -1,0 +1,22 @@
+"""Stored-procedure baseline (paper §VII-E)."""
+
+from .language import (
+    ExecuteSql,
+    Loop,
+    Procedure,
+    ProcedureOp,
+    ReturnQuery,
+    iterative_procedure,
+)
+from .runner import CallReport, ProcedureCatalog
+
+__all__ = [
+    "ExecuteSql",
+    "Loop",
+    "Procedure",
+    "ProcedureOp",
+    "ReturnQuery",
+    "iterative_procedure",
+    "CallReport",
+    "ProcedureCatalog",
+]

@@ -1,0 +1,76 @@
+"""Stored-procedure execution.
+
+The runner walks the procedure IR and submits each SQL statement to the
+engine independently — the optimizer sees one statement at a time, exactly
+as the paper describes the DBMS processing a procedure body (§I, §VII-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import ReproError
+from ..engine import Database, QueryResult
+from .language import ExecuteSql, Loop, Procedure, ProcedureOp, ReturnQuery
+
+
+@dataclass
+class CallReport:
+    """What one procedure call executed."""
+
+    statements_executed: int = 0
+    loops_entered: int = 0
+
+
+class ProcedureCatalog:
+    """Named procedures registered against one database."""
+
+    def __init__(self, db: Database):
+        self._db = db
+        self._procedures: dict[str, Procedure] = {}
+        self.last_report: Optional[CallReport] = None
+
+    def register(self, procedure: Procedure) -> None:
+        key = procedure.name.lower()
+        if key in self._procedures:
+            raise ReproError(f"procedure {procedure.name!r} already exists")
+        self._procedures[key] = procedure
+
+    def drop(self, name: str) -> None:
+        self._procedures.pop(name.lower(), None)
+
+    def names(self) -> list[str]:
+        return sorted(self._procedures)
+
+    def call(self, name: str) -> QueryResult:
+        procedure = self._procedures.get(name.lower())
+        if procedure is None:
+            raise ReproError(f"no procedure named {name!r}")
+        report = CallReport()
+        result = self._run_ops(procedure.ops, report)
+        self.last_report = report
+        if result is None:
+            return QueryResult()
+        return result
+
+    def _run_ops(self, ops: list[ProcedureOp],
+                 report: CallReport) -> Optional[QueryResult]:
+        result: Optional[QueryResult] = None
+        for op in ops:
+            if isinstance(op, ExecuteSql):
+                self._db.execute(op.sql)
+                report.statements_executed += 1
+            elif isinstance(op, Loop):
+                report.loops_entered += 1
+                for _ in range(op.count):
+                    inner = self._run_ops(op.body, report)
+                    if inner is not None:
+                        result = inner
+            elif isinstance(op, ReturnQuery):
+                result = self._db.execute(op.sql)
+                report.statements_executed += 1
+            else:
+                raise ReproError(
+                    f"unknown procedure op: {type(op).__name__}")
+        return result

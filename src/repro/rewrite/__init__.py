@@ -1,0 +1,61 @@
+"""Rewrite subsystem: rule framework plus the optimization rewrites.
+
+The standard pipeline (applied to every materialized plan) is exposed as
+:func:`optimize_plan`; the iterative-CTE-specific rewrites (pushdown
+safety, common results) are invoked from :mod:`repro.core.rewrite`.
+"""
+
+from ..execution.context import SessionOptions
+from ..plan.logical import LogicalOp
+from .common_results import (
+    CommonBlock,
+    extract_common_results,
+    is_loop_invariant,
+)
+from .expr_utils import conjoin, split_conjuncts
+from .folding import fold_expr, fold_plan_filters
+from .framework import apply_rules
+from .join_reorder import reorder_joins
+from .join_rules import inner_over_left_commute, outer_to_inner
+from .pushdown import (
+    invariant_columns,
+    push_filters,
+    pushable_into_iterative,
+)
+
+__all__ = [
+    "CommonBlock",
+    "extract_common_results",
+    "is_loop_invariant",
+    "conjoin",
+    "split_conjuncts",
+    "fold_expr",
+    "fold_plan_filters",
+    "apply_rules",
+    "inner_over_left_commute",
+    "outer_to_inner",
+    "push_filters",
+    "pushable_into_iterative",
+    "reorder_joins",
+    "invariant_columns",
+    "optimize_plan",
+]
+
+
+def optimize_plan(plan: LogicalOp, options: SessionOptions,
+                  estimator=None) -> LogicalOp:
+    """The standard optimization-rewrite pipeline for one plan tree.
+
+    ``estimator`` (a :class:`repro.stats.CardinalityEstimator`) unlocks
+    the cost-based passes; rule-based passes run regardless.
+    """
+    rules = [fold_plan_filters]
+    if options.enable_predicate_pushdown:
+        rules.append(push_filters)
+    if options.enable_outer_to_inner:
+        rules.append(outer_to_inner)
+        rules.append(inner_over_left_commute)
+    plan = apply_rules(plan, rules)
+    if options.enable_join_reorder and estimator is not None:
+        plan = reorder_joins(plan, estimator)
+    return plan

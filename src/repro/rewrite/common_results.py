@@ -1,0 +1,221 @@
+"""Common result optimization (§V-A).
+
+Join subtrees in the iterative part that do not touch the iterative
+reference produce the same result in every iteration.  This rewrite finds
+them, lifts each into a materialization performed once *before* the loop
+(COMMON#k in the paper's Fig. 5), and replaces the subtree with a scan of
+the materialized block.
+
+The rewrite is a heuristic (not cost-based), exactly as the paper argues:
+the iterative part is materialized anyway, and the saving multiplies with
+the number of iterations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..plan.logical import (
+    LogicalFilter,
+    LogicalJoin,
+    LogicalOp,
+    LogicalTempScan,
+)
+from ..sql import ast
+from .expr_utils import conjoin, refs_resolve_in, split_conjuncts
+
+
+@dataclass
+class CommonBlock:
+    """One extracted loop-invariant block to materialize before the loop."""
+
+    result_name: str
+    plan: LogicalOp
+    column_names: list[str]
+
+
+def is_loop_invariant(plan: LogicalOp, varying_results: set[str]) -> bool:
+    """True when no scan under ``plan`` reads a loop-varying result."""
+    for node in plan.walk():
+        if isinstance(node, LogicalTempScan) \
+                and node.result_name.lower() in varying_results:
+            return False
+    return True
+
+
+def extract_common_results(
+        plan: LogicalOp, varying_results: set[str],
+        name_counter: itertools.count) -> tuple[LogicalOp, list[CommonBlock]]:
+    """Extract loop-invariant inner-join groups from ``plan``.
+
+    Returns the rewritten plan and the blocks to materialize (in order)
+    before the loop starts.
+    """
+    varying = {name.lower() for name in varying_results}
+    blocks: list[CommonBlock] = []
+
+    def visit(node: LogicalOp) -> LogicalOp:
+        if isinstance(node, LogicalJoin) \
+                and node.kind is ast.JoinKind.INNER:
+            return _rewrite_component(node, varying, blocks, name_counter,
+                                      visit)
+        children = node.children()
+        if not children:
+            return node
+        new_children = [visit(child) for child in children]
+        if all(new is old for new, old in zip(new_children, children)):
+            return node
+        return node.with_children(new_children)
+
+    rewritten = visit(plan)
+    return rewritten, blocks
+
+
+def _flatten_inner(node: LogicalOp,
+                   members: list[LogicalOp],
+                   conjuncts: list[ast.Expr]) -> None:
+    if isinstance(node, LogicalJoin) and node.kind is ast.JoinKind.INNER:
+        _flatten_inner(node.left, members, conjuncts)
+        _flatten_inner(node.right, members, conjuncts)
+        if node.condition is not None:
+            conjuncts.extend(split_conjuncts(node.condition))
+        return
+    members.append(node)
+
+
+def _rewrite_component(root: LogicalJoin, varying: set[str],
+                       blocks: list[CommonBlock],
+                       name_counter: itertools.count,
+                       visit: Callable[[LogicalOp], LogicalOp]) -> LogicalOp:
+    members: list[LogicalOp] = []
+    conjuncts: list[ast.Expr] = []
+    _flatten_inner(root, members, conjuncts)
+    # Recurse inside members first (they may contain nested components
+    # below outer joins or aggregates).
+    members = [visit(member) for member in members]
+
+    invariant_flags = [is_loop_invariant(member, varying)
+                       for member in members]
+    if sum(invariant_flags) >= 2 and not all(invariant_flags):
+        members, conjuncts = _group_invariants(
+            members, conjuncts, invariant_flags, blocks, name_counter)
+    # If *all* members are invariant the whole component will be hoisted
+    # by the caller (it is itself invariant); no grouping needed here.
+    return _rebuild(members, conjuncts)
+
+
+def _group_invariants(members, conjuncts, invariant_flags, blocks,
+                      name_counter):
+    """Merge connected invariant members into COMMON blocks."""
+    invariant_indices = [i for i, flag in enumerate(invariant_flags) if flag]
+
+    # Union-find over invariant members connected by conjuncts that bind
+    # entirely within invariant members.
+    parent = {i: i for i in invariant_indices}
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: int, b: int) -> None:
+        parent[find(a)] = find(b)
+
+    def binding_members(conjunct: ast.Expr) -> Optional[list[int]]:
+        bound = []
+        for i, member in enumerate(members):
+            if refs_resolve_in(conjunct, member.fields):
+                return [i]
+        # Multi-member conjunct: find the minimal set it binds against.
+        for count in (2, 3):
+            for combo in itertools.combinations(range(len(members)), count):
+                fields = tuple(f for i in combo for f in members[i].fields)
+                if refs_resolve_in(conjunct, fields):
+                    return list(combo)
+        return None
+
+    conjunct_members = [binding_members(c) for c in conjuncts]
+    for conjunct, bound in zip(conjuncts, conjunct_members):
+        if bound is not None and all(i in parent for i in bound) \
+                and len(bound) > 1:
+            for other in bound[1:]:
+                union(bound[0], other)
+
+    groups: dict[int, list[int]] = {}
+    for i in invariant_indices:
+        groups.setdefault(find(i), []).append(i)
+
+    extracted_groups = [sorted(group) for group in groups.values()
+                        if len(group) >= 2]
+    if not extracted_groups:
+        return members, conjuncts
+
+    new_members = list(members)
+    used_conjuncts = [False] * len(conjuncts)
+
+    for group in extracted_groups:
+        group_set = set(group)
+        internal = []
+        for index, (conjunct, bound) in enumerate(
+                zip(conjuncts, conjunct_members)):
+            if used_conjuncts[index] or bound is None:
+                continue
+            if set(bound) <= group_set:
+                internal.append(conjunct)
+                used_conjuncts[index] = True
+        group_members = [members[i] for i in group]
+        block_plan = _rebuild(group_members, internal)
+        name = f"COMMON#{next(name_counter) + 1}"
+        column_names = [f"c{i}" for i in range(len(block_plan.fields))]
+        blocks.append(CommonBlock(name, block_plan, column_names))
+        replacement = LogicalTempScan(
+            result_name=name,
+            alias=name.lower(),
+            fields=block_plan.fields)
+        new_members[group[0]] = replacement
+        for i in group[1:]:
+            new_members[i] = None
+
+    members = [m for m in new_members if m is not None]
+    conjuncts = [c for c, used in zip(conjuncts, used_conjuncts) if not used]
+    return members, conjuncts
+
+
+def _rebuild(members: list[LogicalOp],
+             conjuncts: list[ast.Expr]) -> LogicalOp:
+    """Left-deep inner join over ``members`` applying every conjunct as
+    early as it binds."""
+    if not members:
+        raise ValueError("cannot rebuild an empty join component")
+    remaining = list(conjuncts)
+    plan = members[0]
+    todo = list(members[1:])
+
+    while todo:
+        # Prefer a member connected to the current plan by some conjunct
+        # (keeps joins equi- rather than cross-products).
+        chosen = None
+        for candidate in todo:
+            fields = (*plan.fields, *candidate.fields)
+            if any(refs_resolve_in(c, fields)
+                   and not refs_resolve_in(c, plan.fields)
+                   and not refs_resolve_in(c, candidate.fields)
+                   for c in remaining):
+                chosen = candidate
+                break
+        if chosen is None:
+            chosen = todo[0]
+        todo.remove(chosen)
+        fields = (*plan.fields, *chosen.fields)
+        applicable = [c for c in remaining if refs_resolve_in(c, fields)]
+        remaining = [c for c in remaining if c not in applicable]
+        plan = LogicalJoin(ast.JoinKind.INNER, plan, chosen,
+                           conjoin(applicable))
+
+    leftover = conjoin(remaining)
+    if leftover is not None:
+        plan = LogicalFilter(plan, leftover)
+    return plan

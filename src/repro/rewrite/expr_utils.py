@@ -1,0 +1,176 @@
+"""Expression utilities shared by rewrite rules."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from ..errors import BindError
+from ..plan.binding import resolve_column
+from ..plan.logical import Field
+from ..sql import ast
+
+
+def split_conjuncts(expr: ast.Expr) -> list[ast.Expr]:
+    if isinstance(expr, ast.BinaryOp) and expr.op is ast.BinaryOperator.AND:
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(conjuncts: Sequence[ast.Expr]) -> Optional[ast.Expr]:
+    if not conjuncts:
+        return None
+    result = conjuncts[0]
+    for item in conjuncts[1:]:
+        result = ast.BinaryOp(ast.BinaryOperator.AND, result, item)
+    return result
+
+
+def refs_resolve_in(expr: ast.Expr, fields: Sequence[Field]) -> bool:
+    """True if every column reference of ``expr`` binds within ``fields``."""
+    for node in expr.walk():
+        if isinstance(node, ast.ColumnRef):
+            try:
+                resolve_column(fields, node)
+            except BindError:
+                return False
+    return True
+
+
+def map_column_refs(expr: ast.Expr,
+                    mapping: Callable[[ast.ColumnRef], ast.Expr]) -> ast.Expr:
+    """Rebuild ``expr`` with every column reference replaced via mapping."""
+    if isinstance(expr, ast.ColumnRef):
+        return mapping(expr)
+    if isinstance(expr, ast.Literal):
+        return expr
+    if isinstance(expr, ast.BinaryOp):
+        return ast.BinaryOp(expr.op,
+                            map_column_refs(expr.left, mapping),
+                            map_column_refs(expr.right, mapping))
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(expr.op, map_column_refs(expr.operand, mapping))
+    if isinstance(expr, ast.IsNull):
+        return ast.IsNull(map_column_refs(expr.operand, mapping),
+                          expr.negated)
+    if isinstance(expr, ast.InList):
+        return ast.InList(
+            map_column_refs(expr.operand, mapping),
+            tuple(map_column_refs(item, mapping) for item in expr.items),
+            expr.negated)
+    if isinstance(expr, ast.Between):
+        return ast.Between(map_column_refs(expr.operand, mapping),
+                           map_column_refs(expr.low, mapping),
+                           map_column_refs(expr.high, mapping),
+                           expr.negated)
+    if isinstance(expr, ast.Case):
+        operand = (map_column_refs(expr.operand, mapping)
+                   if expr.operand is not None else None)
+        whens = tuple((map_column_refs(c, mapping),
+                       map_column_refs(r, mapping))
+                      for c, r in expr.whens)
+        default = (map_column_refs(expr.default, mapping)
+                   if expr.default is not None else None)
+        return ast.Case(whens, operand, default)
+    if isinstance(expr, ast.FunctionCall):
+        return ast.FunctionCall(
+            expr.name,
+            tuple(map_column_refs(arg, mapping) for arg in expr.args),
+            expr.distinct)
+    if isinstance(expr, ast.Cast):
+        return ast.Cast(map_column_refs(expr.operand, mapping),
+                        expr.type_name)
+    if isinstance(expr, ast.Star):
+        return expr
+    raise TypeError(f"cannot map refs in {type(expr).__name__}")
+
+
+def substitute_by_position(expr: ast.Expr, fields: Sequence[Field],
+                           replacements: Sequence[ast.Expr]) -> ast.Expr:
+    """Replace each column ref with the expression at its resolved index.
+
+    Used to move a predicate through a projection: refs against the
+    projection's output fields become the projection's input expressions.
+    """
+
+    def mapping(ref: ast.ColumnRef) -> ast.Expr:
+        index = resolve_column(fields, ref)
+        return replacements[index]
+
+    return map_column_refs(expr, mapping)
+
+
+def is_null_rejecting(expr: ast.Expr, fields: Sequence[Field]) -> bool:
+    """Conservatively: does ``expr`` evaluate to non-TRUE whenever every
+    column of ``fields`` it references is NULL?
+
+    Sufficient for the outer-to-inner conversion: comparisons, BETWEEN,
+    IN and IS NOT NULL on a referenced column reject NULL rows.  Anything
+    wrapped in NULL-tolerant constructs (IS NULL, COALESCE, CASE, OR with
+    an unrelated arm) is answered with False (no conversion).
+    """
+    referenced = [node for node in expr.walk()
+                  if isinstance(node, ast.ColumnRef)]
+    touches = any(_ref_in(ref, fields) for ref in referenced)
+    if not touches:
+        return False
+    return _rejects(expr, fields)
+
+
+def _ref_in(ref: ast.ColumnRef, fields: Sequence[Field]) -> bool:
+    try:
+        resolve_column(fields, ref)
+        return True
+    except BindError:
+        return False
+
+
+def _rejects(expr: ast.Expr, fields: Sequence[Field]) -> bool:
+    if isinstance(expr, ast.BinaryOp):
+        if expr.op is ast.BinaryOperator.AND:
+            return _rejects(expr.left, fields) or _rejects(expr.right, fields)
+        if expr.op is ast.BinaryOperator.OR:
+            return (_rejects(expr.left, fields)
+                    and _rejects(expr.right, fields))
+        if expr.op.is_comparison or expr.op is ast.BinaryOperator.LIKE:
+            # A comparison is UNKNOWN when an input is NULL, which a WHERE
+            # or ON treats as false — so it rejects NULLs of any column it
+            # directly references (through strict arithmetic only).
+            return (_strictly_references(expr.left, fields)
+                    or _strictly_references(expr.right, fields))
+        return False
+    if isinstance(expr, ast.IsNull):
+        return expr.negated and _strictly_references(expr.operand, fields)
+    if isinstance(expr, ast.Between):
+        return _strictly_references(expr.operand, fields)
+    if isinstance(expr, ast.InList):
+        return (not expr.negated
+                and _strictly_references(expr.operand, fields))
+    return False
+
+
+_STRICT_FUNCTIONS = frozenset({
+    "abs", "ceiling", "ceil", "floor", "round", "sqrt", "ln", "exp",
+    "power", "mod", "sign", "length", "upper", "lower",
+})
+
+
+def _strictly_references(expr: ast.Expr, fields: Sequence[Field]) -> bool:
+    """Does NULL-ness of a referenced field propagate to ``expr``?"""
+    if isinstance(expr, ast.ColumnRef):
+        return _ref_in(expr, fields)
+    if isinstance(expr, ast.BinaryOp) and (
+            expr.op in (ast.BinaryOperator.ADD, ast.BinaryOperator.SUB,
+                        ast.BinaryOperator.MUL, ast.BinaryOperator.DIV,
+                        ast.BinaryOperator.MOD,
+                        ast.BinaryOperator.CONCAT)):
+        return (_strictly_references(expr.left, fields)
+                or _strictly_references(expr.right, fields))
+    if isinstance(expr, ast.UnaryOp) and expr.op in (
+            ast.UnaryOperator.NEG, ast.UnaryOperator.POS):
+        return _strictly_references(expr.operand, fields)
+    if isinstance(expr, ast.Cast):
+        return _strictly_references(expr.operand, fields)
+    if isinstance(expr, ast.FunctionCall) \
+            and expr.name in _STRICT_FUNCTIONS:
+        return any(_strictly_references(arg, fields) for arg in expr.args)
+    return False

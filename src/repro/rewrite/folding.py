@@ -1,0 +1,93 @@
+"""Constant folding over plan expressions.
+
+Kept deliberately small: literal arithmetic, boolean short-circuits, and
+trivial filter elimination (``WHERE TRUE``).  Runs as part of the standard
+rewrite pipeline before the structural rules so null-rejection analysis
+sees simplified predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from ..plan.logical import LogicalFilter, LogicalOp
+from ..sql import ast
+
+
+def fold_expr(expr: ast.Expr) -> ast.Expr:
+    """Fold literal subexpressions; returns the same node if unchanged."""
+    if isinstance(expr, ast.BinaryOp):
+        left = fold_expr(expr.left)
+        right = fold_expr(expr.right)
+        folded = _fold_binary(expr.op, left, right)
+        if folded is not None:
+            return folded
+        if left is not expr.left or right is not expr.right:
+            return ast.BinaryOp(expr.op, left, right)
+        return expr
+    if isinstance(expr, ast.UnaryOp):
+        operand = fold_expr(expr.operand)
+        if isinstance(operand, ast.Literal):
+            value = operand.value
+            if expr.op is ast.UnaryOperator.NOT and isinstance(value, bool):
+                return ast.Literal(not value)
+            if expr.op is ast.UnaryOperator.NEG \
+                    and isinstance(value, (int, float)) \
+                    and not isinstance(value, bool):
+                return ast.Literal(-value)
+            if expr.op is ast.UnaryOperator.POS:
+                return operand
+        if operand is not expr.operand:
+            return ast.UnaryOp(expr.op, operand)
+        return expr
+    return expr
+
+
+def _fold_binary(op: ast.BinaryOperator, left: ast.Expr,
+                 right: ast.Expr) -> Optional[ast.Expr]:
+    if not (isinstance(left, ast.Literal) and isinstance(right, ast.Literal)):
+        return None
+    a, b = left.value, right.value
+    if a is None or b is None:
+        if op in (ast.BinaryOperator.AND, ast.BinaryOperator.OR):
+            return None  # three-valued logic left to the evaluator
+        return ast.Literal(None)
+    numeric = (isinstance(a, (int, float)) and isinstance(b, (int, float))
+               and not isinstance(a, bool) and not isinstance(b, bool))
+    if op is ast.BinaryOperator.ADD and numeric:
+        return ast.Literal(a + b)
+    if op is ast.BinaryOperator.SUB and numeric:
+        return ast.Literal(a - b)
+    if op is ast.BinaryOperator.MUL and numeric:
+        return ast.Literal(a * b)
+    if op is ast.BinaryOperator.DIV and numeric and b != 0:
+        if isinstance(a, int) and isinstance(b, int):
+            quotient = abs(a) // abs(b)
+            if (a < 0) != (b < 0):
+                quotient = -quotient
+            return ast.Literal(quotient)
+        return ast.Literal(a / b)
+    if op.is_comparison and numeric:
+        comparisons = {
+            ast.BinaryOperator.EQ: a == b,
+            ast.BinaryOperator.NE: a != b,
+            ast.BinaryOperator.LT: a < b,
+            ast.BinaryOperator.LE: a <= b,
+            ast.BinaryOperator.GT: a > b,
+            ast.BinaryOperator.GE: a >= b,
+        }
+        return ast.Literal(comparisons[op])
+    return None
+
+
+def fold_plan_filters(node: LogicalOp) -> LogicalOp:
+    """Fold filter predicates; drop filters that fold to TRUE."""
+    if not isinstance(node, LogicalFilter):
+        return node
+    folded = fold_expr(node.predicate)
+    if isinstance(folded, ast.Literal) and folded.value is True:
+        return node.child
+    if folded is not node.predicate:
+        return replace(node, predicate=folded)
+    return node

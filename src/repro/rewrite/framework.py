@@ -1,0 +1,37 @@
+"""Rewrite-rule infrastructure.
+
+Optimization rewrites are functions ``LogicalOp -> LogicalOp`` applied
+bottom-up repeatedly until the plan stops changing.  Rules must be
+*reductive or stable* (no rule may undo another) — the pipeline caps the
+number of passes defensively anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..plan.logical import LogicalOp, transform
+
+Rule = Callable[[LogicalOp], LogicalOp]
+
+_MAX_PASSES = 16
+
+
+def apply_rules(plan: LogicalOp, rules: Sequence[Rule]) -> LogicalOp:
+    """Apply every rule bottom-up until a full pass changes nothing."""
+    for _ in range(_MAX_PASSES):
+        changed = False
+
+        def visitor(node: LogicalOp) -> LogicalOp:
+            nonlocal changed
+            for rule in rules:
+                replacement = rule(node)
+                if replacement is not node:
+                    changed = True
+                    node = replacement
+            return node
+
+        plan = transform(plan, visitor)
+        if not changed:
+            return plan
+    return plan

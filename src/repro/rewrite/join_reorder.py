@@ -1,0 +1,129 @@
+"""Cost-based join reordering for inner-join components.
+
+The paper leaves join reordering around iterative CTEs as future work
+(§V-A: "the system needs to reorder the joins … this is something that we
+will explore in future work").  This module implements the classic greedy
+algorithm over flattened inner-join components: start from the
+smallest-cardinality relation, then repeatedly join the member that
+minimizes the estimated intermediate result, applying every conjunct as
+early as it binds.
+
+Outer joins are left untouched (reordering them is not generally valid —
+the paper cites [23]); the rule only fires on maximal inner components
+with three or more members, where order actually matters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..plan.logical import LogicalFilter, LogicalJoin, LogicalOp
+from ..sql import ast
+from .expr_utils import conjoin, refs_resolve_in, split_conjuncts
+
+
+def reorder_joins(plan: LogicalOp, estimator) -> LogicalOp:
+    """One top-down pass reordering every maximal inner-join component.
+
+    ``estimator`` is a :class:`repro.stats.CardinalityEstimator`; without
+    one the pass is a no-op (rule-based rewrites must not guess).
+    """
+    if estimator is None:
+        return plan
+
+    def visit(node: LogicalOp) -> LogicalOp:
+        if isinstance(node, LogicalJoin) \
+                and node.kind is ast.JoinKind.INNER:
+            return _reorder_component(node, estimator, visit)
+        children = node.children()
+        if not children:
+            return node
+        new_children = [visit(child) for child in children]
+        if all(new is old for new, old in zip(new_children, children)):
+            return node
+        return node.with_children(new_children)
+
+    return visit(plan)
+
+
+def _flatten(node: LogicalOp, members: list[LogicalOp],
+             conjuncts: list[ast.Expr]) -> None:
+    if isinstance(node, LogicalJoin) and node.kind is ast.JoinKind.INNER:
+        _flatten(node.left, members, conjuncts)
+        _flatten(node.right, members, conjuncts)
+        if node.condition is not None:
+            conjuncts.extend(split_conjuncts(node.condition))
+        return
+    members.append(node)
+
+
+def _reorder_component(root: LogicalJoin, estimator,
+                       visit: Callable[[LogicalOp], LogicalOp]
+                       ) -> LogicalOp:
+    members: list[LogicalOp] = []
+    conjuncts: list[ast.Expr] = []
+    _flatten(root, members, conjuncts)
+    members = [visit(member) for member in members]
+    if len(members) < 3:
+        return _rebuild_in_order(members, conjuncts)
+
+    remaining = list(members)
+    pending = list(conjuncts)
+    # Seed with the smallest relation.
+    current = min(remaining, key=estimator.estimate)
+    remaining.remove(current)
+
+    while remaining:
+        best: Optional[LogicalOp] = None
+        best_plan: Optional[LogicalOp] = None
+        best_rows = float("inf")
+        for candidate in remaining:
+            joined = _join_with_applicable(current, candidate, pending)
+            rows = estimator.estimate(joined)
+            # Prefer connected joins strictly over cross products.
+            connected = joined.condition is not None
+            score = rows if connected else rows * 1e6
+            if score < best_rows:
+                best, best_plan, best_rows = candidate, joined, score
+        assert best is not None and best_plan is not None
+        remaining.remove(best)
+        consumed = split_conjuncts(best_plan.condition) \
+            if best_plan.condition is not None else []
+        pending = [c for c in pending if c not in consumed]
+        current = best_plan
+
+    leftover = conjoin(pending)
+    if leftover is not None:
+        current = LogicalFilter(current, leftover)
+    return current
+
+
+def _join_with_applicable(left: LogicalOp, right: LogicalOp,
+                          pending: list[ast.Expr]) -> LogicalJoin:
+    fields = (*left.fields, *right.fields)
+    applicable = [
+        c for c in pending
+        if refs_resolve_in(c, fields)
+        and not refs_resolve_in(c, left.fields)
+        and not refs_resolve_in(c, right.fields)]
+    # Single-side conjuncts were already pushed down by push_filters;
+    # anything binding only one side stays pending (it will be applied as
+    # a filter at the end if never consumed).
+    return LogicalJoin(ast.JoinKind.INNER, left, right,
+                       conjoin(applicable))
+
+
+def _rebuild_in_order(members: list[LogicalOp],
+                      conjuncts: list[ast.Expr]) -> LogicalOp:
+    plan = members[0]
+    pending = list(conjuncts)
+    for member in members[1:]:
+        joined = _join_with_applicable(plan, member, pending)
+        consumed = split_conjuncts(joined.condition) \
+            if joined.condition is not None else []
+        pending = [c for c in pending if c not in consumed]
+        plan = joined
+    leftover = conjoin(pending)
+    if leftover is not None:
+        plan = LogicalFilter(plan, leftover)
+    return plan

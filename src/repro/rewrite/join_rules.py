@@ -1,0 +1,84 @@
+"""Join-shape rewrites: outer-to-inner conversion and the inner-over-left
+commute.
+
+These are the enablers for common-result extraction (§V-A): the PR-VS
+query's join with ``vertexStatus`` sits *above* two left joins, and only
+after converting the null-rejected left join to inner and commuting the
+inner join below the remaining left join does the loop-invariant
+``edges ⋈ vertexStatus`` block become a contiguous inner-join component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..plan.logical import LogicalFilter, LogicalJoin, LogicalOp
+from ..sql import ast
+from .expr_utils import is_null_rejecting, refs_resolve_in, split_conjuncts
+
+
+def outer_to_inner(node: LogicalOp) -> LogicalOp:
+    """Convert LEFT joins to INNER when a predicate evaluated above them
+    rejects NULLs of their null-supplying (right) side.
+
+    Handles the two shapes that occur after generic pushdown:
+
+    * ``Filter(pred) over LeftJoin`` where pred null-rejects the right side;
+    * ``InnerJoin(cond) over LeftJoin`` where the inner join's condition
+      null-rejects the left child's right side.
+    """
+    if isinstance(node, LogicalFilter) \
+            and isinstance(node.child, LogicalJoin) \
+            and node.child.kind is ast.JoinKind.LEFT:
+        join = node.child
+        if any(is_null_rejecting(conjunct, join.right.fields)
+               for conjunct in split_conjuncts(node.predicate)):
+            return replace(node,
+                           child=replace(join, kind=ast.JoinKind.INNER))
+
+    if isinstance(node, LogicalJoin) and node.kind is ast.JoinKind.INNER \
+            and node.condition is not None:
+        changed = False
+        left = node.left
+        right = node.right
+        conjuncts = split_conjuncts(node.condition)
+        if isinstance(left, LogicalJoin) and left.kind is ast.JoinKind.LEFT:
+            if any(is_null_rejecting(c, left.right.fields)
+                   for c in conjuncts):
+                left = replace(left, kind=ast.JoinKind.INNER)
+                changed = True
+        if isinstance(right, LogicalJoin) \
+                and right.kind is ast.JoinKind.LEFT:
+            if any(is_null_rejecting(c, right.right.fields)
+                   for c in conjuncts):
+                right = replace(right, kind=ast.JoinKind.INNER)
+                changed = True
+        if changed:
+            return replace(node, left=left, right=right)
+
+    return node
+
+
+def inner_over_left_commute(node: LogicalOp) -> LogicalOp:
+    """``(X LEFT JOIN C) INNER JOIN D ON p(X, D)``
+    becomes ``(X INNER JOIN D ON p) LEFT JOIN C``.
+
+    Valid because the inner join's condition never touches C, so the two
+    trees produce the same multiset of rows.  This sinks loop-invariant
+    inner joins below the iterative reference's left joins, exposing them
+    to common-result extraction.
+    """
+    if not (isinstance(node, LogicalJoin)
+            and node.kind is ast.JoinKind.INNER
+            and node.condition is not None):
+        return node
+    left = node.left
+    if not (isinstance(left, LogicalJoin)
+            and left.kind is ast.JoinKind.LEFT):
+        return node
+    inner_fields = (*left.left.fields, *node.right.fields)
+    if not refs_resolve_in(node.condition, inner_fields):
+        return node
+    sunk = LogicalJoin(ast.JoinKind.INNER, left.left, node.right,
+                       node.condition)
+    return LogicalJoin(ast.JoinKind.LEFT, sunk, left.right, left.condition)

@@ -1,0 +1,340 @@
+"""Predicate push down.
+
+Two parts, matching the paper's §V-B:
+
+* :func:`push_filters` — the ordinary rule: move filter conjuncts through
+  projections, below joins (respecting outer-join semantics), into union
+  arms and below aggregations when they only touch grouping keys.
+
+* :func:`pushable_into_iterative` — the iterative-CTE-specific safety
+  check: a predicate from the final query block may be pushed into the
+  *non-iterative part* only when the iterative part evolves rows
+  independently per key and the referenced columns pass through the
+  iterative part unchanged.  Pushing blindly (as for regular CTEs) is
+  incorrect — e.g. PageRank needs all neighbours even when the final query
+  asks for one node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from ..plan.logical import (
+    Field,
+    LogicalAggregate,
+    LogicalDistinct,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalOp,
+    LogicalProject,
+    LogicalRename,
+    LogicalSort,
+    LogicalUnion,
+)
+from ..sql import ast
+from .expr_utils import (
+    conjoin,
+    map_column_refs,
+    refs_resolve_in,
+    split_conjuncts,
+    substitute_by_position,
+)
+
+
+def push_filters(node: LogicalOp) -> LogicalOp:
+    """One bottom-up rewrite step for the generic pushdown rule."""
+    if not isinstance(node, LogicalFilter):
+        return node
+    child = node.child
+
+    if isinstance(child, LogicalFilter):
+        merged = conjoin(split_conjuncts(node.predicate)
+                         + split_conjuncts(child.predicate))
+        return LogicalFilter(child.child, merged)
+
+    if isinstance(child, LogicalProject):
+        replacements = [expr for expr, _ in child.exprs]
+        pushed = substitute_by_position(node.predicate, child.fields,
+                                        replacements)
+        if ast.contains_aggregate(pushed):
+            return node
+        new_child = replace(child,
+                            child=LogicalFilter(child.child, pushed))
+        return new_child
+
+    if isinstance(child, LogicalRename):
+        pushed = _rebase_through_rename(node.predicate, child)
+        if pushed is None:
+            return node
+        return replace(child, child=LogicalFilter(child.child, pushed))
+
+    if isinstance(child, LogicalJoin):
+        return _push_into_join(node, child)
+
+    if isinstance(child, LogicalUnion):
+        pushed_left = _rebase_union_predicate(node.predicate, child,
+                                              child.left)
+        pushed_right = _rebase_union_predicate(node.predicate, child,
+                                               child.right)
+        if pushed_left is None or pushed_right is None:
+            return node
+        return replace(child,
+                       left=LogicalFilter(child.left, pushed_left),
+                       right=LogicalFilter(child.right, pushed_right))
+
+    if isinstance(child, LogicalAggregate):
+        return _push_into_aggregate(node, child)
+
+    if isinstance(child, (LogicalSort, LogicalDistinct)):
+        return child.with_children(
+            [LogicalFilter(child.children()[0], node.predicate)])
+
+    return node
+
+
+def _push_into_join(node: LogicalFilter, join: LogicalJoin) -> LogicalOp:
+    conjuncts = split_conjuncts(node.predicate)
+    to_left: list[ast.Expr] = []
+    to_right: list[ast.Expr] = []
+    keep: list[ast.Expr] = []
+
+    left_ok = join.kind in (ast.JoinKind.INNER, ast.JoinKind.LEFT,
+                            ast.JoinKind.CROSS)
+    right_ok = join.kind in (ast.JoinKind.INNER, ast.JoinKind.RIGHT,
+                             ast.JoinKind.CROSS)
+
+    for conjunct in conjuncts:
+        if left_ok and refs_resolve_in(conjunct, join.left.fields):
+            to_left.append(conjunct)
+        elif right_ok and refs_resolve_in(conjunct, join.right.fields):
+            to_right.append(conjunct)
+        else:
+            keep.append(conjunct)
+
+    if not to_left and not to_right:
+        return node
+
+    left = join.left
+    right = join.right
+    if to_left:
+        left = LogicalFilter(left, conjoin(to_left))
+    if to_right:
+        right = LogicalFilter(right, conjoin(to_right))
+    new_join = replace(join, left=left, right=right)
+    remaining = conjoin(keep)
+    if remaining is None:
+        return new_join
+    return LogicalFilter(new_join, remaining)
+
+
+def _rebase_through_rename(predicate: ast.Expr,
+                           rename: "LogicalRename"):
+    """Map a predicate over renamed outputs onto the child's columns.
+
+    Refuses (returns None) when the child's names are ambiguous — the
+    reason LogicalRename exists in the first place.
+    """
+    from ..plan.binding import resolve_column
+
+    def mapping(ref: ast.ColumnRef) -> ast.Expr:
+        index = resolve_column(rename.fields, ref)
+        child_field = rename.child.fields[index]
+        child_ref = ast.ColumnRef(child_field.name, child_field.qualifier)
+        if resolve_column(rename.child.fields, child_ref) != index:
+            raise _NotPushable()
+        return child_ref
+
+    try:
+        return map_column_refs(predicate, mapping)
+    except (_NotPushable, Exception):
+        return None
+
+
+def _rebase_union_predicate(predicate: ast.Expr, union: LogicalUnion,
+                            arm: LogicalOp) -> Optional[ast.Expr]:
+    """Rewrite a predicate over union output fields onto one arm."""
+    from ..plan.binding import resolve_column
+
+    def mapping(ref: ast.ColumnRef) -> ast.Expr:
+        index = resolve_column(union.fields, ref)
+        field = arm.fields[index]
+        return ast.ColumnRef(field.name, field.qualifier)
+
+    try:
+        return map_column_refs(predicate, mapping)
+    except Exception:
+        return None
+
+
+def _push_into_aggregate(node: LogicalFilter,
+                         agg: LogicalAggregate) -> LogicalOp:
+    """Push conjuncts that only reference grouping keys below the agg."""
+    key_slots = {slot: expr for expr, slot in agg.keys}
+    conjuncts = split_conjuncts(node.predicate)
+    pushable: list[ast.Expr] = []
+    keep: list[ast.Expr] = []
+
+    output_by_name = {name: expr for expr, name in agg.outputs}
+
+    for conjunct in conjuncts:
+        rewritten = _rewrite_over_keys(conjunct, agg.fields, output_by_name,
+                                       key_slots)
+        if rewritten is not None:
+            pushable.append(rewritten)
+        else:
+            keep.append(conjunct)
+
+    if not pushable:
+        return node
+    new_agg = replace(agg, child=LogicalFilter(agg.child, conjoin(pushable)))
+    remaining = conjoin(keep)
+    if remaining is None:
+        return new_agg
+    return LogicalFilter(new_agg, remaining)
+
+
+def _rewrite_over_keys(conjunct: ast.Expr, fields, output_by_name,
+                       key_slots) -> Optional[ast.Expr]:
+    """Map a predicate over aggregate outputs onto pre-aggregation input
+    expressions; None when it touches an aggregate value."""
+
+    def mapping(ref: ast.ColumnRef) -> ast.Expr:
+        output = output_by_name.get(ref.name.lower())
+        if output is None:
+            raise _NotPushable()
+        # The output must itself be a pure key-slot expression.
+        resolved = _resolve_slots(output, key_slots)
+        if resolved is None:
+            raise _NotPushable()
+        return resolved
+
+    try:
+        return map_column_refs(conjunct, mapping)
+    except _NotPushable:
+        return None
+
+
+class _NotPushable(Exception):
+    pass
+
+
+def _resolve_slots(expr: ast.Expr, key_slots) -> Optional[ast.Expr]:
+    """Replace __key slots with their defining expressions; None if the
+    expression touches an aggregate slot."""
+
+    def mapping(ref: ast.ColumnRef) -> ast.Expr:
+        if ref.name in key_slots:
+            return key_slots[ref.name]
+        raise _NotPushable()
+
+    try:
+        return map_column_refs(expr, mapping)
+    except _NotPushable:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Iterative-CTE pushdown safety (§V-B)
+# ---------------------------------------------------------------------------
+
+
+def count_cte_references(query: ast.SelectLike, cte_name: str) -> int:
+    """Occurrences of the CTE name in FROM clauses of ``query``."""
+    count = 0
+    key = cte_name.lower()
+
+    def visit_relation(relation: ast.Relation) -> None:
+        nonlocal count
+        if isinstance(relation, ast.TableRef):
+            if relation.name.lower() == key:
+                count += 1
+        elif isinstance(relation, ast.SubqueryRef):
+            visit_query(relation.query)
+        elif isinstance(relation, ast.Join):
+            visit_relation(relation.left)
+            visit_relation(relation.right)
+
+    def visit_query(node: ast.SelectLike) -> None:
+        if isinstance(node, ast.SetOp):
+            visit_query(node.left)
+            visit_query(node.right)
+            return
+        if node.from_clause is not None:
+            visit_relation(node.from_clause)
+        if node.with_clause is not None:
+            for cte in node.with_clause.ctes:
+                if isinstance(cte, ast.CommonTableExpr):
+                    visit_query(cte.query)
+                else:
+                    visit_query(cte.init)
+                    visit_query(cte.step)
+
+    visit_query(query)
+    return count
+
+
+def invariant_columns(cte: ast.IterativeCte,
+                      columns: list[str]) -> set[str]:
+    """CTE columns that pass through the iterative part unchanged.
+
+    A column is invariant when the step's select item at its position is a
+    bare reference to the same column of the CTE.  Only these columns may
+    appear in a predicate pushed into the non-iterative part.
+    """
+    step = cte.step
+    if not isinstance(step, ast.Select):
+        return set()
+    invariant: set[str] = set()
+    cte_key = cte.name.lower()
+    for position, item in enumerate(step.items):
+        if position >= len(columns):
+            break
+        expr = item.expr
+        if isinstance(expr, ast.ColumnRef) \
+                and expr.name.lower() == columns[position].lower() \
+                and (expr.table is None or expr.table.lower() == cte_key):
+            invariant.add(columns[position].lower())
+    return invariant
+
+
+def pushable_into_iterative(cte: ast.IterativeCte, columns: list[str],
+                            predicate: ast.Expr) -> bool:
+    """Is it safe to push ``predicate`` (over the CTE's output) into R0?
+
+    Conditions (conservative reading of §V-B):
+
+    * the iterative part references the CTE exactly once, with no self
+      joins — each output row depends on exactly one current row;
+    * the iterative part has no GROUP BY / aggregates / DISTINCT / set
+      operations — no cross-row mixing;
+    * every column the predicate references is invariant through the
+      iterative part (identity pass-through), so selecting rows early
+      selects exactly the rows the final predicate would keep.
+    """
+    step = cte.step
+    if not isinstance(step, ast.Select):
+        return False
+    if step.group_by or step.having is not None or step.distinct:
+        return False
+    if any(ast.contains_aggregate(item.expr) for item in step.items):
+        return False
+    if step.limit is not None or step.offset is not None:
+        return False
+    if count_cte_references(step, cte.name) != 1:
+        return False
+    if not isinstance(step.from_clause, ast.TableRef):
+        # Joins in the iterative part can make row evolution depend on
+        # other rows; refuse.
+        return False
+    if step.from_clause.name.lower() != cte.name.lower():
+        return False
+
+    stable = invariant_columns(cte, columns)
+    for node in predicate.walk():
+        if isinstance(node, ast.ColumnRef):
+            if node.name.lower() not in stable:
+                return False
+        if ast.is_aggregate_call(node):
+            return False
+    return True

@@ -1,0 +1,18 @@
+"""SQL front end: lexer, parser, AST, and SQL printer."""
+
+from . import ast
+from .lexer import Lexer, tokenize
+from .parser import Parser, parse, parse_script
+from .printer import expr_to_sql, relation_to_sql, statement_to_sql
+
+__all__ = [
+    "ast",
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse",
+    "parse_script",
+    "expr_to_sql",
+    "relation_to_sql",
+    "statement_to_sql",
+]

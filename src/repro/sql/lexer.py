@@ -1,0 +1,177 @@
+"""Hand-written SQL lexer.
+
+Produces a flat token stream for the recursive-descent parser.  Handles
+line comments (``--``), block comments (``/* */``), quoted identifiers
+(``"name"``), string literals with doubled-quote escaping (``'it''s'``),
+and numeric literals with optional fraction and exponent.
+"""
+
+from __future__ import annotations
+
+from ..errors import SqlSyntaxError
+from .tokens import KEYWORDS, OPERATORS, PUNCTUATION, Token, TokenType
+
+
+class Lexer:
+    """Single-pass tokenizer over a SQL string."""
+
+    def __init__(self, text: str):
+        self._text = text
+        self._pos = 0
+        self._line = 1
+        self._col = 1
+
+    def tokenize(self) -> list[Token]:
+        tokens = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.type is TokenType.EOF:
+                return tokens
+
+    # -- internals ----------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        return self._text[index] if index < len(self._text) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self._pos < len(self._text):
+                if self._text[self._pos] == "\n":
+                    self._line += 1
+                    self._col = 1
+                else:
+                    self._col += 1
+                self._pos += 1
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self._pos < len(self._text):
+            char = self._peek()
+            if char.isspace():
+                self._advance()
+            elif char == "-" and self._peek(1) == "-":
+                while self._pos < len(self._text) and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                start_line, start_col = self._line, self._col
+                self._advance(2)
+                while self._pos < len(self._text):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise SqlSyntaxError("unterminated block comment",
+                                         line=start_line, column=start_col)
+            else:
+                return
+
+    def _make(self, token_type: TokenType, text: str,
+              position: int, line: int, column: int) -> Token:
+        return Token(token_type, text, position, line, column)
+
+    def _next_token(self) -> Token:
+        self._skip_whitespace_and_comments()
+        start, line, col = self._pos, self._line, self._col
+        char = self._peek()
+
+        if not char:
+            return self._make(TokenType.EOF, "", start, line, col)
+
+        if char.isdigit() or (char == "." and self._peek(1).isdigit()):
+            return self._lex_number(start, line, col)
+
+        if char == "'":
+            return self._lex_string(start, line, col)
+
+        if char == '"':
+            return self._lex_quoted_identifier(start, line, col)
+
+        if char.isalpha() or char == "_":
+            return self._lex_word(start, line, col)
+
+        for op in OPERATORS:
+            if self._text.startswith(op, self._pos):
+                self._advance(len(op))
+                return self._make(TokenType.OPERATOR, op, start, line, col)
+
+        if char in PUNCTUATION:
+            self._advance()
+            return self._make(TokenType.PUNCTUATION, char, start, line, col)
+
+        raise SqlSyntaxError(f"unexpected character {char!r}",
+                             line=line, column=col)
+
+    def _lex_number(self, start: int, line: int, col: int) -> Token:
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1).isdigit():
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        elif self._peek() == ".":
+            # "1." form — accept trailing dot as float.
+            self._advance()
+        if self._peek() in ("e", "E"):
+            lookahead = 1
+            if self._peek(1) in ("+", "-"):
+                lookahead = 2
+            if self._peek(lookahead).isdigit():
+                self._advance(lookahead)
+                while self._peek().isdigit():
+                    self._advance()
+        return self._make(TokenType.NUMBER, self._text[start:self._pos],
+                          start, line, col)
+
+    def _lex_string(self, start: int, line: int, col: int) -> Token:
+        self._advance()  # opening quote
+        parts = []
+        while True:
+            char = self._peek()
+            if not char:
+                raise SqlSyntaxError("unterminated string literal",
+                                     line=line, column=col)
+            if char == "'":
+                if self._peek(1) == "'":
+                    parts.append("'")
+                    self._advance(2)
+                    continue
+                self._advance()
+                return self._make(TokenType.STRING, "".join(parts),
+                                  start, line, col)
+            parts.append(char)
+            self._advance()
+
+    def _lex_quoted_identifier(self, start: int, line: int,
+                               col: int) -> Token:
+        self._advance()
+        parts = []
+        while True:
+            char = self._peek()
+            if not char:
+                raise SqlSyntaxError("unterminated quoted identifier",
+                                     line=line, column=col)
+            if char == '"':
+                if self._peek(1) == '"':
+                    parts.append('"')
+                    self._advance(2)
+                    continue
+                self._advance()
+                return self._make(TokenType.IDENTIFIER, "".join(parts),
+                                  start, line, col)
+            parts.append(char)
+            self._advance()
+
+    def _lex_word(self, start: int, line: int, col: int) -> Token:
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self._text[start:self._pos]
+        token_type = (TokenType.KEYWORD if text.lower() in KEYWORDS
+                      else TokenType.IDENTIFIER)
+        return self._make(token_type, text, start, line, col)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Convenience wrapper: tokenize a SQL string."""
+    return Lexer(text).tokenize()

@@ -1,0 +1,776 @@
+"""Recursive-descent parser for the supported SQL dialect.
+
+Grammar highlights (beyond ordinary SQL):
+
+* ``WITH ITERATIVE name [(cols)] AS ( init ITERATE step UNTIL tc ) final``
+  — the paper's iterative-CTE extension.
+* Termination conditions (``tc``):
+  ``N ITERATIONS`` | ``N UPDATES`` | ``DELTA <op> N`` |
+  ``[ANY] expr`` | ``ALL expr``.
+* Derived tables may omit their alias (Fig. 2 of the paper does), in which
+  case the binder synthesizes one.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import SqlSyntaxError
+from . import ast
+from .lexer import tokenize
+from .tokens import Token, TokenType
+
+# Keywords that may *not* be used as bare aliases (they would swallow the
+# following clause).
+_NON_ALIAS_KEYWORDS = frozenset({
+    "from", "where", "group", "having", "order", "limit", "offset", "on",
+    "join", "inner", "left", "right", "full", "cross", "union", "as",
+    "except", "intersect",
+    "iterate", "until", "set", "values", "when", "then", "else", "end",
+    "and", "or", "not", "asc", "desc",
+})
+
+
+class Parser:
+    """Parses one statement or a ';'-separated script."""
+
+    def __init__(self, text: str):
+        self._text = text
+        self._tokens = tokenize(text)
+        self._index = 0
+
+    # -- public entry points -------------------------------------------------
+
+    def parse_statement(self) -> ast.Statement:
+        statement = self._parse_statement()
+        self._accept_punct(";")
+        self._expect_eof()
+        return statement
+
+    def parse_script(self) -> list[ast.Statement]:
+        statements = []
+        while not self._at_eof():
+            if self._accept_punct(";"):
+                continue
+            statements.append(self._parse_statement())
+            if not self._accept_punct(";") and not self._at_eof():
+                raise self._error("expected ';' between statements")
+        return statements
+
+    # -- token stream helpers -------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.type is not TokenType.EOF:
+            self._index += 1
+        return token
+
+    def _at_eof(self) -> bool:
+        return self._peek().type is TokenType.EOF
+
+    def _error(self, message: str) -> SqlSyntaxError:
+        token = self._peek()
+        seen = token.text or "<end of input>"
+        return SqlSyntaxError(f"{message} (found {seen!r})",
+                              line=token.line, column=token.column)
+
+    def _accept_keyword(self, *words: str) -> Optional[Token]:
+        if self._peek().is_keyword(*words):
+            return self._advance()
+        return None
+
+    def _expect_keyword(self, *words: str) -> Token:
+        token = self._accept_keyword(*words)
+        if token is None:
+            raise self._error(f"expected {' or '.join(w.upper() for w in words)}")
+        return token
+
+    def _accept_punct(self, text: str) -> bool:
+        token = self._peek()
+        if token.type is TokenType.PUNCTUATION and token.text == text:
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, text: str) -> None:
+        if not self._accept_punct(text):
+            raise self._error(f"expected {text!r}")
+
+    def _accept_operator(self, *ops: str) -> Optional[Token]:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.text in ops:
+            return self._advance()
+        return None
+
+    def _expect_identifier(self, what: str = "identifier") -> str:
+        token = self._peek()
+        if token.type is TokenType.IDENTIFIER:
+            self._advance()
+            return token.text
+        # Allow non-clause keywords as identifiers (e.g. a column named
+        # "delta" or "key", which the paper's queries use).
+        if (token.type is TokenType.KEYWORD
+                and token.text.lower() not in _NON_ALIAS_KEYWORDS
+                and not token.is_keyword("select")):
+            self._advance()
+            return token.text
+        raise self._error(f"expected {what}")
+
+    def _expect_eof(self) -> None:
+        if not self._at_eof():
+            raise self._error("unexpected trailing input")
+
+    def _expect_integer(self) -> int:
+        token = self._peek()
+        if token.type is TokenType.NUMBER and "." not in token.text \
+                and "e" not in token.text.lower():
+            self._advance()
+            return int(token.text)
+        raise self._error("expected integer literal")
+
+    # -- statements ------------------------------------------------------------
+
+    def _parse_statement(self) -> ast.Statement:
+        token = self._peek()
+        if token.is_keyword("explain"):
+            self._advance()
+            return ast.Explain(self._parse_statement())
+        if token.is_keyword("select", "with") or (
+                token.type is TokenType.PUNCTUATION and token.text == "("):
+            return self._parse_select_like()
+        if token.is_keyword("create"):
+            return self._parse_create_table()
+        if token.is_keyword("drop"):
+            return self._parse_drop_table()
+        if token.is_keyword("insert"):
+            return self._parse_insert()
+        if token.is_keyword("update"):
+            return self._parse_update()
+        if token.is_keyword("delete"):
+            return self._parse_delete()
+        if token.is_keyword("analyze"):
+            self._advance()
+            table = None
+            next_token = self._peek()
+            if next_token.type is TokenType.IDENTIFIER or (
+                    next_token.type is TokenType.KEYWORD
+                    and next_token.text.lower() not in _NON_ALIAS_KEYWORDS):
+                table = self._expect_identifier("table name")
+            return ast.Analyze(table)
+        if token.is_keyword("begin"):
+            self._advance()
+            self._accept_keyword("transaction")
+            return ast.BeginTransaction()
+        if token.is_keyword("commit"):
+            self._advance()
+            self._accept_keyword("transaction")
+            return ast.CommitTransaction()
+        if token.is_keyword("rollback"):
+            self._advance()
+            self._accept_keyword("transaction")
+            return ast.RollbackTransaction()
+        raise self._error("expected a statement")
+
+    # -- SELECT / set operations ------------------------------------------------
+
+    def _parse_select_like(self) -> ast.SelectLike:
+        with_clause = self._parse_with_clause()
+        query = self._parse_set_expr()
+        order_by = self._parse_order_by()
+        limit, offset = self._parse_limit_offset()
+        query.with_clause = with_clause
+        if order_by:
+            query.order_by = order_by
+        if limit is not None:
+            query.limit = limit
+        if offset is not None:
+            query.offset = offset
+        return query
+
+    def _parse_with_clause(self) -> Optional[ast.WithClause]:
+        if not self._accept_keyword("with"):
+            return None
+        recursive = bool(self._accept_keyword("recursive"))
+        iterative = bool(self._accept_keyword("iterative"))
+        ctes: list[ast.CteDefinition] = []
+        while True:
+            ctes.append(self._parse_cte(recursive, iterative))
+            if not self._accept_punct(","):
+                break
+            # Each additional CTE may restate its own flavour.
+            recursive = bool(self._accept_keyword("recursive"))
+            iterative = bool(self._accept_keyword("iterative"))
+        return ast.WithClause(ctes)
+
+    def _parse_cte(self, recursive: bool,
+                   iterative: bool) -> ast.CteDefinition:
+        name = self._expect_identifier("CTE name")
+        columns = None
+        if self._accept_punct("("):
+            columns = [self._expect_identifier("column name")]
+            while self._accept_punct(","):
+                columns.append(self._expect_identifier("column name"))
+            self._expect_punct(")")
+        self._expect_keyword("as")
+        self._expect_punct("(")
+        body = self._parse_select_like()
+        if iterative or self._peek().is_keyword("iterate"):
+            self._expect_keyword("iterate")
+            step = self._parse_select_like()
+            self._expect_keyword("until")
+            termination = self._parse_termination()
+            self._expect_punct(")")
+            return ast.IterativeCte(name=name, init=body, step=step,
+                                    termination=termination, columns=columns)
+        self._expect_punct(")")
+        return ast.CommonTableExpr(name=name, query=body, columns=columns,
+                                   recursive=recursive)
+
+    def _parse_termination(self) -> ast.Termination:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            count = self._expect_integer()
+            if self._accept_keyword("iterations"):
+                return ast.Termination(ast.TerminationKind.ITERATIONS,
+                                       count=count)
+            if self._accept_keyword("updates"):
+                return ast.Termination(ast.TerminationKind.UPDATES,
+                                       count=count)
+            raise self._error("expected ITERATIONS or UPDATES")
+        if token.is_keyword("delta"):
+            # Disambiguate the DELTA termination keyword from a data
+            # condition over a column named "delta": a comparison operator
+            # followed by an integer literal means the termination form.
+            next_token = self._peek(1)
+            after = self._peek(2)
+            is_delta_form = (next_token.type is TokenType.OPERATOR
+                             and next_token.text in ("=", "<", "<=", ">", ">=")
+                             and after.type is TokenType.NUMBER
+                             and "." not in after.text
+                             and "e" not in after.text.lower())
+            if is_delta_form:
+                self._advance()
+                comparator = self._advance().text
+                count = self._expect_integer()
+                return ast.Termination(ast.TerminationKind.DELTA,
+                                       count=count, comparator=comparator)
+        if self._accept_keyword("all"):
+            expr = self._parse_expression()
+            return ast.Termination(ast.TerminationKind.DATA_ALL, expr=expr)
+        self._accept_keyword("any")
+        expr = self._parse_expression()
+        return ast.Termination(ast.TerminationKind.DATA_ANY, expr=expr)
+
+    def _parse_set_expr(self) -> ast.SelectLike:
+        left = self._parse_intersect_expr()
+        while self._peek().is_keyword("union", "except"):
+            token = self._advance()
+            if token.is_keyword("union"):
+                kind = (ast.SetOpKind.UNION_ALL
+                        if self._accept_keyword("all")
+                        else ast.SetOpKind.UNION)
+            else:
+                kind = ast.SetOpKind.EXCEPT
+            right = self._parse_intersect_expr()
+            left = ast.SetOp(kind=kind, left=left, right=right)
+        return left
+
+    def _parse_intersect_expr(self) -> ast.SelectLike:
+        left = self._parse_select_core()
+        while self._peek().is_keyword("intersect"):
+            self._advance()
+            right = self._parse_select_core()
+            left = ast.SetOp(kind=ast.SetOpKind.INTERSECT, left=left,
+                             right=right)
+        return left
+
+    def _parse_select_core(self) -> ast.SelectLike:
+        if self._accept_punct("("):
+            inner = self._parse_select_like()
+            self._expect_punct(")")
+            return inner
+        self._expect_keyword("select")
+        distinct = bool(self._accept_keyword("distinct"))
+        self._accept_keyword("all")
+        items = [self._parse_select_item()]
+        while self._accept_punct(","):
+            items.append(self._parse_select_item())
+        from_clause = None
+        if self._accept_keyword("from"):
+            from_clause = self._parse_from_clause()
+        where = None
+        if self._accept_keyword("where"):
+            where = self._parse_expression()
+        group_by: list[ast.Expr] = []
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            group_by.append(self._parse_expression())
+            while self._accept_punct(","):
+                group_by.append(self._parse_expression())
+        having = None
+        if self._accept_keyword("having"):
+            having = self._parse_expression()
+        return ast.Select(items=items, from_clause=from_clause, where=where,
+                          group_by=group_by, having=having, distinct=distinct)
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        if self._peek().type is TokenType.OPERATOR \
+                and self._peek().text == "*":
+            self._advance()
+            return ast.SelectItem(ast.Star())
+        expr = self._parse_expression()
+        alias = self._parse_alias()
+        # `t.*` arrives as ColumnRef(t, "*")? No — handled in primary.
+        return ast.SelectItem(expr, alias)
+
+    def _parse_alias(self) -> Optional[str]:
+        if self._accept_keyword("as"):
+            return self._expect_identifier("alias")
+        token = self._peek()
+        if token.type is TokenType.IDENTIFIER:
+            self._advance()
+            return token.text
+        if (token.type is TokenType.KEYWORD
+                and token.text.lower() not in _NON_ALIAS_KEYWORDS
+                and not token.is_keyword("select", "create", "insert",
+                                         "update", "delete", "drop",
+                                         "iterate", "until")):
+            self._advance()
+            return token.text
+        return None
+
+    def _parse_order_by(self) -> list[ast.OrderItem]:
+        if not self._accept_keyword("order"):
+            return []
+        self._expect_keyword("by")
+        items = [self._parse_order_item()]
+        while self._accept_punct(","):
+            items.append(self._parse_order_item())
+        return items
+
+    def _parse_order_item(self) -> ast.OrderItem:
+        expr = self._parse_expression()
+        ascending = True
+        if self._accept_keyword("desc"):
+            ascending = False
+        else:
+            self._accept_keyword("asc")
+        return ast.OrderItem(expr, ascending)
+
+    def _parse_limit_offset(self) -> tuple[Optional[int], Optional[int]]:
+        limit = offset = None
+        if self._accept_keyword("limit"):
+            limit = self._expect_integer()
+        if self._accept_keyword("offset"):
+            offset = self._expect_integer()
+        return limit, offset
+
+    # -- FROM clause --------------------------------------------------------------
+
+    def _parse_from_clause(self) -> ast.Relation:
+        relation = self._parse_table_factor()
+        while True:
+            if self._accept_punct(","):
+                right = self._parse_table_factor()
+                relation = ast.Join(ast.JoinKind.CROSS, relation, right)
+                continue
+            kind = self._parse_join_kind()
+            if kind is None:
+                return relation
+            right = self._parse_table_factor()
+            condition = None
+            if kind is not ast.JoinKind.CROSS:
+                self._expect_keyword("on")
+                condition = self._parse_expression()
+            relation = ast.Join(kind, relation, right, condition)
+
+    def _parse_join_kind(self) -> Optional[ast.JoinKind]:
+        token = self._peek()
+        if token.is_keyword("join"):
+            self._advance()
+            return ast.JoinKind.INNER
+        if token.is_keyword("inner"):
+            self._advance()
+            self._expect_keyword("join")
+            return ast.JoinKind.INNER
+        if token.is_keyword("left"):
+            self._advance()
+            self._accept_keyword("outer")
+            self._expect_keyword("join")
+            return ast.JoinKind.LEFT
+        if token.is_keyword("right"):
+            self._advance()
+            self._accept_keyword("outer")
+            self._expect_keyword("join")
+            return ast.JoinKind.RIGHT
+        if token.is_keyword("full"):
+            self._advance()
+            self._accept_keyword("outer")
+            self._expect_keyword("join")
+            return ast.JoinKind.FULL
+        if token.is_keyword("cross"):
+            self._advance()
+            self._expect_keyword("join")
+            return ast.JoinKind.CROSS
+        return None
+
+    def _parse_table_factor(self) -> ast.Relation:
+        if self._accept_punct("("):
+            # Either a derived table or a parenthesised join tree.
+            if self._peek().is_keyword("select", "with"):
+                query = self._parse_select_like()
+                self._expect_punct(")")
+                alias = self._parse_alias()
+                return ast.SubqueryRef(query, alias)
+            relation = self._parse_from_clause()
+            self._expect_punct(")")
+            return relation
+        name = self._expect_identifier("table name")
+        alias = self._parse_alias()
+        return ast.TableRef(name, alias)
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self._accept_keyword("or"):
+            right = self._parse_and()
+            left = ast.BinaryOp(ast.BinaryOperator.OR, left, right)
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_not()
+        while self._accept_keyword("and"):
+            right = self._parse_not()
+            left = ast.BinaryOp(ast.BinaryOperator.AND, left, right)
+        return left
+
+    def _parse_not(self) -> ast.Expr:
+        if self._accept_keyword("not"):
+            operand = self._parse_not()
+            if isinstance(operand, ast.ExistsExpr):
+                return ast.ExistsExpr(operand.query, not operand.negated)
+            return ast.UnaryOp(ast.UnaryOperator.NOT, operand)
+        return self._parse_comparison()
+
+    _COMPARISONS = {
+        "=": ast.BinaryOperator.EQ,
+        "<>": ast.BinaryOperator.NE,
+        "!=": ast.BinaryOperator.NE,
+        "<": ast.BinaryOperator.LT,
+        "<=": ast.BinaryOperator.LE,
+        ">": ast.BinaryOperator.GT,
+        ">=": ast.BinaryOperator.GE,
+    }
+
+    def _parse_comparison(self) -> ast.Expr:
+        left = self._parse_additive()
+        token = self._accept_operator(*self._COMPARISONS)
+        if token is not None:
+            right = self._parse_additive()
+            return ast.BinaryOp(self._COMPARISONS[token.text], left, right)
+        if self._peek().is_keyword("is"):
+            self._advance()
+            negated = bool(self._accept_keyword("not"))
+            self._expect_keyword("null")
+            return ast.IsNull(left, negated)
+        negated = bool(self._accept_keyword("not"))
+        if self._accept_keyword("in"):
+            self._expect_punct("(")
+            if self._peek().is_keyword("select", "with"):
+                query = self._parse_select_like()
+                self._expect_punct(")")
+                return ast.InSubquery(left, query, negated)
+            items = [self._parse_expression()]
+            while self._accept_punct(","):
+                items.append(self._parse_expression())
+            self._expect_punct(")")
+            return ast.InList(left, tuple(items), negated)
+        if self._accept_keyword("between"):
+            low = self._parse_additive()
+            self._expect_keyword("and")
+            high = self._parse_additive()
+            return ast.Between(left, low, high, negated)
+        if self._accept_keyword("like"):
+            pattern = self._parse_additive()
+            node = ast.BinaryOp(ast.BinaryOperator.LIKE, left, pattern)
+            return ast.UnaryOp(ast.UnaryOperator.NOT, node) if negated \
+                else node
+        if negated:
+            raise self._error("expected IN, BETWEEN or LIKE after NOT")
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while True:
+            token = self._accept_operator("+", "-", "||")
+            if token is None:
+                return left
+            op = {"+": ast.BinaryOperator.ADD,
+                  "-": ast.BinaryOperator.SUB,
+                  "||": ast.BinaryOperator.CONCAT}[token.text]
+            right = self._parse_multiplicative()
+            left = ast.BinaryOp(op, left, right)
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            token = self._accept_operator("*", "/", "%")
+            if token is None:
+                return left
+            op = {"*": ast.BinaryOperator.MUL,
+                  "/": ast.BinaryOperator.DIV,
+                  "%": ast.BinaryOperator.MOD}[token.text]
+            right = self._parse_unary()
+            left = ast.BinaryOp(op, left, right)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._accept_operator("-", "+")
+        if token is not None:
+            operand = self._parse_unary()
+            op = (ast.UnaryOperator.NEG if token.text == "-"
+                  else ast.UnaryOperator.POS)
+            return ast.UnaryOp(op, operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            text = token.text
+            if "." in text or "e" in text.lower():
+                return ast.Literal(float(text))
+            return ast.Literal(int(text))
+
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.Literal(token.text)
+
+        if token.is_keyword("null"):
+            self._advance()
+            return ast.Literal(None)
+        if token.is_keyword("true"):
+            self._advance()
+            return ast.Literal(True)
+        if token.is_keyword("false"):
+            self._advance()
+            return ast.Literal(False)
+
+        if token.is_keyword("case"):
+            return self._parse_case()
+
+        if token.is_keyword("exists"):
+            self._advance()
+            self._expect_punct("(")
+            query = self._parse_select_like()
+            self._expect_punct(")")
+            return ast.ExistsExpr(query)
+
+        if token.is_keyword("cast"):
+            self._advance()
+            self._expect_punct("(")
+            operand = self._parse_expression()
+            self._expect_keyword("as")
+            type_name = self._expect_identifier("type name")
+            # Swallow optional precision/scale: NUMERIC(10, 2).
+            if self._accept_punct("("):
+                self._expect_integer()
+                if self._accept_punct(","):
+                    self._expect_integer()
+                self._expect_punct(")")
+            self._expect_punct(")")
+            return ast.Cast(operand, type_name)
+
+        if self._accept_punct("("):
+            expr = self._parse_expression()
+            self._expect_punct(")")
+            return expr
+
+        if token.type is TokenType.IDENTIFIER or (
+                token.type is TokenType.KEYWORD
+                and token.text.lower() not in _NON_ALIAS_KEYWORDS):
+            return self._parse_name_or_call()
+
+        raise self._error("expected an expression")
+
+    def _parse_case(self) -> ast.Expr:
+        self._expect_keyword("case")
+        operand = None
+        if not self._peek().is_keyword("when"):
+            operand = self._parse_expression()
+        whens = []
+        while self._accept_keyword("when"):
+            condition = self._parse_expression()
+            self._expect_keyword("then")
+            result = self._parse_expression()
+            whens.append((condition, result))
+        if not whens:
+            raise self._error("CASE requires at least one WHEN")
+        default = None
+        if self._accept_keyword("else"):
+            default = self._parse_expression()
+        self._expect_keyword("end")
+        return ast.Case(tuple(whens), operand, default)
+
+    def _parse_name_or_call(self) -> ast.Expr:
+        name = self._advance().text
+        # Function call?
+        if self._peek().type is TokenType.PUNCTUATION \
+                and self._peek().text == "(":
+            self._advance()
+            distinct = bool(self._accept_keyword("distinct"))
+            args: list[ast.Expr] = []
+            if self._peek().type is TokenType.OPERATOR \
+                    and self._peek().text == "*":
+                self._advance()
+                args.append(ast.Star())
+            elif not (self._peek().type is TokenType.PUNCTUATION
+                      and self._peek().text == ")"):
+                args.append(self._parse_expression())
+                while self._accept_punct(","):
+                    args.append(self._parse_expression())
+            self._expect_punct(")")
+            return ast.FunctionCall(name.lower(), tuple(args), distinct)
+        # Qualified column: table.column or table.*
+        if self._accept_punct("."):
+            if self._peek().type is TokenType.OPERATOR \
+                    and self._peek().text == "*":
+                self._advance()
+                return ast.Star(table=name)
+            column = self._expect_identifier("column name")
+            return ast.ColumnRef(column, table=name)
+        return ast.ColumnRef(name)
+
+    # -- DDL / DML ------------------------------------------------------------------
+
+    def _parse_create_table(self) -> ast.CreateTable:
+        self._expect_keyword("create")
+        temporary = bool(self._accept_keyword("temporary", "temp"))
+        self._expect_keyword("table")
+        if_not_exists = False
+        if self._accept_keyword("if"):
+            self._expect_keyword("not")
+            self._expect_keyword("exists")
+            if_not_exists = True
+        name = self._expect_identifier("table name")
+        self._expect_punct("(")
+        columns: list[ast.ColumnDef] = []
+        table_pk: Optional[str] = None
+        while True:
+            if self._peek().is_keyword("primary"):
+                self._advance()
+                self._expect_keyword("key")
+                self._expect_punct("(")
+                table_pk = self._expect_identifier("column name")
+                self._expect_punct(")")
+            else:
+                col_name = self._expect_identifier("column name")
+                type_name = self._expect_identifier("type name")
+                if self._accept_punct("("):
+                    self._expect_integer()
+                    if self._accept_punct(","):
+                        self._expect_integer()
+                    self._expect_punct(")")
+                primary = False
+                if self._accept_keyword("primary"):
+                    self._expect_keyword("key")
+                    primary = True
+                if self._accept_keyword("not"):
+                    self._expect_keyword("null")
+                columns.append(ast.ColumnDef(col_name, type_name, primary))
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(")")
+        if table_pk is not None:
+            for column in columns:
+                if column.name.lower() == table_pk.lower():
+                    column.primary_key = True
+        return ast.CreateTable(name, columns, temporary, if_not_exists)
+
+    def _parse_drop_table(self) -> ast.DropTable:
+        self._expect_keyword("drop")
+        self._expect_keyword("table")
+        if_exists = False
+        if self._accept_keyword("if"):
+            self._expect_keyword("exists")
+            if_exists = True
+        name = self._expect_identifier("table name")
+        return ast.DropTable(name, if_exists)
+
+    def _parse_insert(self) -> ast.Insert:
+        self._expect_keyword("insert")
+        self._expect_keyword("into")
+        table = self._expect_identifier("table name")
+        columns = None
+        if self._peek().type is TokenType.PUNCTUATION \
+                and self._peek().text == "(" \
+                and not self._peek(1).is_keyword("select", "with"):
+            self._advance()
+            columns = [self._expect_identifier("column name")]
+            while self._accept_punct(","):
+                columns.append(self._expect_identifier("column name"))
+            self._expect_punct(")")
+        if self._accept_keyword("values"):
+            rows = [self._parse_values_row()]
+            while self._accept_punct(","):
+                rows.append(self._parse_values_row())
+            return ast.Insert(table, columns, rows)
+        query = self._parse_select_like()
+        return ast.Insert(table, columns, query)
+
+    def _parse_values_row(self) -> list[ast.Expr]:
+        self._expect_punct("(")
+        row = [self._parse_expression()]
+        while self._accept_punct(","):
+            row.append(self._parse_expression())
+        self._expect_punct(")")
+        return row
+
+    def _parse_update(self) -> ast.Update:
+        self._expect_keyword("update")
+        table = self._expect_identifier("table name")
+        self._expect_keyword("set")
+        assignments = [self._parse_assignment()]
+        while self._accept_punct(","):
+            assignments.append(self._parse_assignment())
+        from_clause = None
+        if self._accept_keyword("from"):
+            from_clause = self._parse_from_clause()
+        where = None
+        if self._accept_keyword("where"):
+            where = self._parse_expression()
+        return ast.Update(table, assignments, from_clause, where)
+
+    def _parse_assignment(self) -> tuple[str, ast.Expr]:
+        column = self._expect_identifier("column name")
+        token = self._accept_operator("=")
+        if token is None:
+            raise self._error("expected '=' in assignment")
+        return column, self._parse_expression()
+
+    def _parse_delete(self) -> ast.Delete:
+        self._expect_keyword("delete")
+        self._expect_keyword("from")
+        table = self._expect_identifier("table name")
+        where = None
+        if self._accept_keyword("where"):
+            where = self._parse_expression()
+        return ast.Delete(table, where)
+
+
+def parse(text: str) -> ast.Statement:
+    """Parse a single SQL statement."""
+    return Parser(text).parse_statement()
+
+
+def parse_script(text: str) -> list[ast.Statement]:
+    """Parse a ';'-separated sequence of statements."""
+    return Parser(text).parse_script()

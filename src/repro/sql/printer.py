@@ -1,0 +1,232 @@
+"""Render AST nodes back to SQL text.
+
+Used for EXPLAIN annotations, error messages, round-trip tests, and the
+middleware baseline (which generates statement scripts from ASTs).
+"""
+
+from __future__ import annotations
+
+from . import ast
+
+
+def expr_to_sql(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        if value is None:
+            return "NULL"
+        if isinstance(value, bool):
+            return "TRUE" if value else "FALSE"
+        if isinstance(value, str):
+            escaped = value.replace("'", "''")
+            return f"'{escaped}'"
+        return repr(value)
+    if isinstance(expr, ast.ColumnRef):
+        return expr.qualified
+    if isinstance(expr, ast.Star):
+        return f"{expr.table}.*" if expr.table else "*"
+    if isinstance(expr, ast.BinaryOp):
+        return (f"({expr_to_sql(expr.left)} {expr.op.value} "
+                f"{expr_to_sql(expr.right)})")
+    if isinstance(expr, ast.UnaryOp):
+        if expr.op is ast.UnaryOperator.NOT:
+            return f"(NOT {expr_to_sql(expr.operand)})"
+        # The space matters: "--" would start a line comment.
+        return f"({expr.op.value} {expr_to_sql(expr.operand)})"
+    if isinstance(expr, ast.IsNull):
+        verb = "IS NOT NULL" if expr.negated else "IS NULL"
+        return f"({expr_to_sql(expr.operand)} {verb})"
+    if isinstance(expr, ast.InList):
+        items = ", ".join(expr_to_sql(item) for item in expr.items)
+        verb = "NOT IN" if expr.negated else "IN"
+        return f"({expr_to_sql(expr.operand)} {verb} ({items}))"
+    if isinstance(expr, ast.Between):
+        verb = "NOT BETWEEN" if expr.negated else "BETWEEN"
+        return (f"({expr_to_sql(expr.operand)} {verb} "
+                f"{expr_to_sql(expr.low)} AND {expr_to_sql(expr.high)})")
+    if isinstance(expr, ast.Case):
+        parts = ["CASE"]
+        if expr.operand is not None:
+            parts.append(expr_to_sql(expr.operand))
+        for condition, result in expr.whens:
+            parts.append(f"WHEN {expr_to_sql(condition)} "
+                         f"THEN {expr_to_sql(result)}")
+        if expr.default is not None:
+            parts.append(f"ELSE {expr_to_sql(expr.default)}")
+        parts.append("END")
+        return " ".join(parts)
+    if isinstance(expr, ast.FunctionCall):
+        args = ", ".join(expr_to_sql(arg) for arg in expr.args)
+        distinct = "DISTINCT " if expr.distinct else ""
+        return f"{expr.name.upper()}({distinct}{args})"
+    if isinstance(expr, ast.Cast):
+        return f"CAST({expr_to_sql(expr.operand)} AS {expr.type_name})"
+    if isinstance(expr, ast.ExistsExpr):
+        verb = "NOT EXISTS" if expr.negated else "EXISTS"
+        return f"{verb} ({statement_to_sql(expr.query)})"
+    if isinstance(expr, ast.InSubquery):
+        verb = "NOT IN" if expr.negated else "IN"
+        return (f"({expr_to_sql(expr.operand)} {verb} "
+                f"({statement_to_sql(expr.query)}))")
+    raise TypeError(f"cannot print expression node {type(expr).__name__}")
+
+
+def relation_to_sql(relation: ast.Relation) -> str:
+    if isinstance(relation, ast.TableRef):
+        if relation.alias:
+            return f"{relation.name} AS {relation.alias}"
+        return relation.name
+    if isinstance(relation, ast.SubqueryRef):
+        inner = statement_to_sql(relation.query)
+        alias = f" AS {relation.alias}" if relation.alias else ""
+        return f"({inner}){alias}"
+    if isinstance(relation, ast.Join):
+        left = relation_to_sql(relation.left)
+        right = relation_to_sql(relation.right)
+        if relation.kind is ast.JoinKind.CROSS:
+            return f"{left} CROSS JOIN {right}"
+        keyword = {ast.JoinKind.INNER: "JOIN",
+                   ast.JoinKind.LEFT: "LEFT JOIN",
+                   ast.JoinKind.RIGHT: "RIGHT JOIN",
+                   ast.JoinKind.FULL: "FULL JOIN"}[relation.kind]
+        condition = ""
+        if relation.condition is not None:
+            condition = f" ON {expr_to_sql(relation.condition)}"
+        return f"{left} {keyword} {right}{condition}"
+    raise TypeError(f"cannot print relation node {type(relation).__name__}")
+
+
+def _select_to_sql(select: ast.Select) -> str:
+    parts = ["SELECT"]
+    if select.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(
+        expr_to_sql(item.expr) + (f" AS {item.alias}" if item.alias else "")
+        for item in select.items))
+    if select.from_clause is not None:
+        parts.append("FROM " + relation_to_sql(select.from_clause))
+    if select.where is not None:
+        parts.append("WHERE " + expr_to_sql(select.where))
+    if select.group_by:
+        parts.append("GROUP BY "
+                     + ", ".join(expr_to_sql(e) for e in select.group_by))
+    if select.having is not None:
+        parts.append("HAVING " + expr_to_sql(select.having))
+    return " ".join(parts)
+
+
+def _tail_to_sql(query: ast.Select | ast.SetOp) -> str:
+    parts = []
+    if query.order_by:
+        rendered = ", ".join(
+            expr_to_sql(item.expr) + ("" if item.ascending else " DESC")
+            for item in query.order_by)
+        parts.append("ORDER BY " + rendered)
+    if query.limit is not None:
+        parts.append(f"LIMIT {query.limit}")
+    if query.offset is not None:
+        parts.append(f"OFFSET {query.offset}")
+    return " ".join(parts)
+
+
+def termination_to_sql(termination: ast.Termination) -> str:
+    kind = termination.kind
+    if kind is ast.TerminationKind.ITERATIONS:
+        return f"{termination.count} ITERATIONS"
+    if kind is ast.TerminationKind.UPDATES:
+        return f"{termination.count} UPDATES"
+    if kind is ast.TerminationKind.DELTA:
+        return f"DELTA {termination.comparator} {termination.count}"
+    prefix = "ALL " if kind is ast.TerminationKind.DATA_ALL else ""
+    return prefix + expr_to_sql(termination.expr)
+
+
+def _with_to_sql(with_clause: ast.WithClause) -> str:
+    rendered = []
+    for cte in with_clause.ctes:
+        columns = ""
+        if cte.columns:
+            columns = " (" + ", ".join(cte.columns) + ")"
+        if isinstance(cte, ast.IterativeCte):
+            body = (f"{statement_to_sql(cte.init)} ITERATE "
+                    f"{statement_to_sql(cte.step)} UNTIL "
+                    f"{termination_to_sql(cte.termination)}")
+            rendered.append(f"ITERATIVE {cte.name}{columns} AS ({body})")
+        else:
+            prefix = "RECURSIVE " if cte.recursive else ""
+            rendered.append(f"{prefix}{cte.name}{columns} AS "
+                            f"({statement_to_sql(cte.query)})")
+    return "WITH " + ", ".join(rendered)
+
+
+def statement_to_sql(stmt: ast.Statement) -> str:
+    """Render any supported statement as SQL text."""
+    if isinstance(stmt, ast.Select):
+        parts = []
+        if stmt.with_clause is not None:
+            parts.append(_with_to_sql(stmt.with_clause))
+        parts.append(_select_to_sql(stmt))
+        tail = _tail_to_sql(stmt)
+        if tail:
+            parts.append(tail)
+        return " ".join(parts)
+    if isinstance(stmt, ast.SetOp):
+        parts = []
+        if stmt.with_clause is not None:
+            parts.append(_with_to_sql(stmt.with_clause))
+        keyword = {ast.SetOpKind.UNION_ALL: "UNION ALL",
+                   ast.SetOpKind.UNION: "UNION",
+                   ast.SetOpKind.EXCEPT: "EXCEPT",
+                   ast.SetOpKind.INTERSECT: "INTERSECT"}[stmt.kind]
+        parts.append(f"{statement_to_sql(stmt.left)} {keyword} "
+                     f"{statement_to_sql(stmt.right)}")
+        tail = _tail_to_sql(stmt)
+        if tail:
+            parts.append(tail)
+        return " ".join(parts)
+    if isinstance(stmt, ast.CreateTable):
+        columns = ", ".join(
+            f"{c.name} {c.type_name}"
+            + (" PRIMARY KEY" if c.primary_key else "")
+            for c in stmt.columns)
+        temp = "TEMPORARY " if stmt.temporary else ""
+        guard = "IF NOT EXISTS " if stmt.if_not_exists else ""
+        return f"CREATE {temp}TABLE {guard}{stmt.name} ({columns})"
+    if isinstance(stmt, ast.DropTable):
+        guard = "IF EXISTS " if stmt.if_exists else ""
+        return f"DROP TABLE {guard}{stmt.name}"
+    if isinstance(stmt, ast.Insert):
+        columns = ""
+        if stmt.columns:
+            columns = " (" + ", ".join(stmt.columns) + ")"
+        if isinstance(stmt.source, list):
+            rows = ", ".join(
+                "(" + ", ".join(expr_to_sql(v) for v in row) + ")"
+                for row in stmt.source)
+            return f"INSERT INTO {stmt.table}{columns} VALUES {rows}"
+        return (f"INSERT INTO {stmt.table}{columns} "
+                f"{statement_to_sql(stmt.source)}")
+    if isinstance(stmt, ast.Update):
+        assignments = ", ".join(f"{col} = {expr_to_sql(value)}"
+                                for col, value in stmt.assignments)
+        text = f"UPDATE {stmt.table} SET {assignments}"
+        if stmt.from_clause is not None:
+            text += " FROM " + relation_to_sql(stmt.from_clause)
+        if stmt.where is not None:
+            text += " WHERE " + expr_to_sql(stmt.where)
+        return text
+    if isinstance(stmt, ast.Delete):
+        text = f"DELETE FROM {stmt.table}"
+        if stmt.where is not None:
+            text += " WHERE " + expr_to_sql(stmt.where)
+        return text
+    if isinstance(stmt, ast.Explain):
+        return "EXPLAIN " + statement_to_sql(stmt.statement)
+    if isinstance(stmt, ast.Analyze):
+        return f"ANALYZE {stmt.table}" if stmt.table else "ANALYZE"
+    if isinstance(stmt, ast.BeginTransaction):
+        return "BEGIN"
+    if isinstance(stmt, ast.CommitTransaction):
+        return "COMMIT"
+    if isinstance(stmt, ast.RollbackTransaction):
+        return "ROLLBACK"
+    raise TypeError(f"cannot print statement node {type(stmt).__name__}")

@@ -1,0 +1,60 @@
+"""Token definitions for the SQL lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCTUATION = "punctuation"
+    EOF = "eof"
+
+
+# Reserved words recognised case-insensitively.  Includes the iterative-CTE
+# extension keywords (ITERATIVE / ITERATE / UNTIL / ITERATIONS / UPDATES /
+# DELTA) alongside standard SQL.
+KEYWORDS = frozenset({
+    "select", "from", "where", "group", "by", "having", "order", "limit",
+    "offset", "as", "on", "join", "inner", "left", "right", "full", "outer",
+    "cross", "union", "except", "intersect", "all", "distinct", "and", "or", "not", "in", "is",
+    "null", "true", "false", "case", "when", "then", "else", "end", "cast",
+    "between", "like", "exists", "asc", "desc",
+    "with", "recursive", "iterative", "iterate", "until", "iterations",
+    "updates", "delta", "any",
+    "create", "table", "temporary", "temp", "drop", "insert", "into",
+    "values", "update", "set", "delete", "primary", "key", "if",
+    "begin", "commit", "rollback", "transaction", "explain", "analyze",
+})
+
+# Multi-character operators must be listed before their prefixes.
+OPERATORS = (
+    "<>", "!=", "<=", ">=", "||", "=", "<", ">", "+", "-", "*", "/", "%",
+)
+
+PUNCTUATION = "(),.;"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    position: int
+    line: int
+    column: int
+
+    @property
+    def upper(self) -> str:
+        return self.text.upper()
+
+    def is_keyword(self, *words: str) -> bool:
+        return (self.type is TokenType.KEYWORD
+                and self.text.lower() in {w.lower() for w in words})
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.type.value}:{self.text!r}"

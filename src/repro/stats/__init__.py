@@ -1,0 +1,31 @@
+"""Statistics and cost estimation (ANALYZE + the cost subsystem)."""
+
+from .costing import (
+    CardinalityEstimator,
+    LoopEstimate,
+    ProgramCostReport,
+    estimate_iterations,
+    estimate_program,
+    plan_cost,
+)
+from .statistics import (
+    ColumnStatistics,
+    StatisticsCatalog,
+    TableStatistics,
+    analyze_column,
+    analyze_table,
+)
+
+__all__ = [
+    "CardinalityEstimator",
+    "LoopEstimate",
+    "ProgramCostReport",
+    "estimate_iterations",
+    "estimate_program",
+    "plan_cost",
+    "ColumnStatistics",
+    "StatisticsCatalog",
+    "TableStatistics",
+    "analyze_column",
+    "analyze_table",
+]

@@ -1,0 +1,16 @@
+"""Columnar storage: columns, tables, schemas, catalog, result registry."""
+
+from .catalog import Catalog, CatalogStats, ResultRegistry
+from .column import Column
+from .table import ColumnSchema, Schema, Table, pretty_table
+
+__all__ = [
+    "Catalog",
+    "CatalogStats",
+    "ResultRegistry",
+    "Column",
+    "ColumnSchema",
+    "Schema",
+    "Table",
+    "pretty_table",
+]

@@ -1,0 +1,150 @@
+"""Catalog and the intermediate-result lookup table.
+
+Two registries live here:
+
+* :class:`Catalog` — durable base tables created through DDL.  DDL against
+  the catalog is deliberately *instrumented*: the paper's argument against
+  middleware solutions is the metadata and locking overhead of temp-table
+  DDL/DML, so the catalog counts every such operation and the engine layer
+  charges for it.
+
+* :class:`ResultRegistry` — the executor's lookup table for in-memory
+  intermediate results, exactly the two-column structure of §VI-A: a name,
+  and the stored result.  The *rename* operator is a constant-time update of
+  this registry; when the new name already exists, its previous result is
+  dropped and its memory released (modelled by accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CatalogError
+from .table import Schema, Table
+
+
+@dataclass
+class CatalogStats:
+    """Counters for metadata operations; read by the overhead model."""
+
+    tables_created: int = 0
+    tables_dropped: int = 0
+    lookups: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "tables_created": self.tables_created,
+            "tables_dropped": self.tables_dropped,
+            "lookups": self.lookups,
+        }
+
+
+class Catalog:
+    """Named base tables, as created by ``CREATE TABLE``."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self.stats = CatalogStats()
+
+    def create(self, name: str, schema: Schema,
+               if_not_exists: bool = False) -> None:
+        key = name.lower()
+        if key in self._tables:
+            if if_not_exists:
+                return
+            raise CatalogError(f"table {name!r} already exists")
+        self._tables[key] = Table.empty(schema)
+        self.stats.tables_created += 1
+
+    def drop(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            if if_exists:
+                return
+            raise CatalogError(f"no such table: {name!r}")
+        del self._tables[key]
+        self.stats.tables_dropped += 1
+
+    def get(self, name: str) -> Table:
+        self.stats.lookups += 1
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no such table: {name!r}") from None
+
+    def put(self, name: str, table: Table) -> None:
+        """Replace the contents of an existing table (used by DML)."""
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"no such table: {name!r}")
+        self._tables[key] = table
+
+    def register(self, name: str, table: Table) -> None:
+        """Create-and-fill in one step (used by loaders)."""
+        key = name.lower()
+        if key in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        self._tables[key] = table
+        self.stats.tables_created += 1
+
+    def exists(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+
+class ResultRegistry:
+    """The executor's in-memory intermediate-result lookup table (§VI-A).
+
+    Column one is the result name; column two is the stored Table (schema
+    plus a pointer to the column memory).  ``rename`` relabels an entry in
+    O(1) without touching the data — this is the mechanism behind the
+    minimize-data-movement optimization of Fig. 8.
+    """
+
+    def __init__(self) -> None:
+        self._results: dict[str, Table] = {}
+        self.renames = 0
+        self.bytes_released = 0
+
+    def store(self, name: str, table: Table) -> None:
+        self._results[name.lower()] = table
+
+    def fetch(self, name: str) -> Table:
+        try:
+            return self._results[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"no intermediate result named {name!r}") from None
+
+    def exists(self, name: str) -> bool:
+        return name.lower() in self._results
+
+    def rename(self, old: str, new: str) -> None:
+        """Point ``new`` at the result currently named ``old``.
+
+        Mirrors §VI-A: look up the old name, update it with the new value;
+        if the new name already points at a result, remove that entry and
+        release its memory.
+        """
+        old_key, new_key = old.lower(), new.lower()
+        if old_key not in self._results:
+            raise CatalogError(f"no intermediate result named {old!r}")
+        if new_key in self._results:
+            self.bytes_released += self._results[new_key].nbytes()
+            del self._results[new_key]
+        self._results[new_key] = self._results.pop(old_key)
+        self.renames += 1
+
+    def drop(self, name: str) -> None:
+        key = name.lower()
+        if key in self._results:
+            self.bytes_released += self._results[key].nbytes()
+            del self._results[key]
+
+    def clear(self) -> None:
+        self._results.clear()
+
+    def names(self) -> list[str]:
+        return sorted(self._results)

@@ -1,0 +1,33 @@
+"""SQL type system: scalar types, coercion rules, and NULL semantics."""
+
+from .datatypes import (
+    SqlType,
+    can_cast,
+    common_type,
+    python_to_sql_type,
+    type_from_name,
+)
+from .values import (
+    coerce_scalar,
+    is_null,
+    sql_and,
+    sql_compare,
+    sql_equal,
+    sql_not,
+    sql_or,
+)
+
+__all__ = [
+    "SqlType",
+    "can_cast",
+    "common_type",
+    "python_to_sql_type",
+    "type_from_name",
+    "coerce_scalar",
+    "is_null",
+    "sql_and",
+    "sql_compare",
+    "sql_equal",
+    "sql_not",
+    "sql_or",
+]

@@ -1,0 +1,132 @@
+"""SQL data types and coercion rules.
+
+The engine supports a deliberately small but complete set of scalar types —
+the ones exercised by the paper's workloads (integers, floating point /
+numeric, booleans, text).  Each SQL type maps onto a numpy dtype used by the
+columnar storage layer; NULLs are carried in a separate validity mask, never
+as sentinel values.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from ..errors import TypeCheckError
+
+
+class SqlType(enum.Enum):
+    """Scalar SQL types understood by the engine."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    NUMERIC = "numeric"  # alias of FLOAT storage-wise, kept for CAST fidelity
+    BOOLEAN = "boolean"
+    TEXT = "text"
+    # Pseudo-type for untyped NULL literals; unifies with anything.
+    NULL = "null"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value.upper()
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The numpy dtype backing columns of this SQL type."""
+        return _NUMPY_DTYPES[self]
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (SqlType.INTEGER, SqlType.FLOAT, SqlType.NUMERIC)
+
+
+_NUMPY_DTYPES = {
+    SqlType.INTEGER: np.dtype(np.int64),
+    SqlType.FLOAT: np.dtype(np.float64),
+    SqlType.NUMERIC: np.dtype(np.float64),
+    SqlType.BOOLEAN: np.dtype(np.bool_),
+    SqlType.TEXT: np.dtype(object),
+    SqlType.NULL: np.dtype(object),
+}
+
+# Names accepted in SQL (CREATE TABLE / CAST) for each type.
+_TYPE_NAMES = {
+    "int": SqlType.INTEGER,
+    "integer": SqlType.INTEGER,
+    "bigint": SqlType.INTEGER,
+    "smallint": SqlType.INTEGER,
+    "float": SqlType.FLOAT,
+    "double": SqlType.FLOAT,
+    "real": SqlType.FLOAT,
+    "numeric": SqlType.NUMERIC,
+    "decimal": SqlType.NUMERIC,
+    "bool": SqlType.BOOLEAN,
+    "boolean": SqlType.BOOLEAN,
+    "text": SqlType.TEXT,
+    "varchar": SqlType.TEXT,
+    "char": SqlType.TEXT,
+    "string": SqlType.TEXT,
+}
+
+
+def type_from_name(name: str) -> SqlType:
+    """Resolve a SQL type name (as written in DDL or CAST) to a SqlType."""
+    try:
+        return _TYPE_NAMES[name.lower()]
+    except KeyError:
+        raise TypeCheckError(f"unknown SQL type: {name!r}") from None
+
+
+def common_type(left: SqlType, right: SqlType) -> SqlType:
+    """The result type of combining two operand types (e.g. in arithmetic,
+    CASE branches, set operations, or comparisons).
+
+    Follows the usual SQL promotion lattice: NULL unifies with anything,
+    INTEGER promotes to FLOAT/NUMERIC, NUMERIC and FLOAT unify to FLOAT.
+    """
+    if left is right:
+        return left
+    if left is SqlType.NULL:
+        return right
+    if right is SqlType.NULL:
+        return left
+    if left.is_numeric and right.is_numeric:
+        if SqlType.FLOAT in (left, right) or SqlType.NUMERIC in (left, right):
+            # NUMERIC + FLOAT and INTEGER + FLOAT both widen to FLOAT storage.
+            if left is SqlType.NUMERIC and right is SqlType.NUMERIC:
+                return SqlType.NUMERIC
+            return SqlType.FLOAT
+        return SqlType.INTEGER
+    raise TypeCheckError(f"no common type for {left} and {right}")
+
+
+def can_cast(source: SqlType, target: SqlType) -> bool:
+    """Whether CAST(source AS target) is defined."""
+    if source is target or source is SqlType.NULL:
+        return True
+    if source.is_numeric and target.is_numeric:
+        return True
+    if target is SqlType.TEXT:
+        return True
+    if source is SqlType.TEXT and target.is_numeric:
+        return True
+    if source is SqlType.BOOLEAN and target.is_numeric:
+        return True
+    if source.is_numeric and target is SqlType.BOOLEAN:
+        return True
+    return False
+
+
+def python_to_sql_type(value: object) -> SqlType:
+    """Infer the SqlType of a Python literal (used when loading rows)."""
+    if value is None:
+        return SqlType.NULL
+    if isinstance(value, bool):
+        return SqlType.BOOLEAN
+    if isinstance(value, (int, np.integer)):
+        return SqlType.INTEGER
+    if isinstance(value, (float, np.floating)):
+        return SqlType.FLOAT
+    if isinstance(value, str):
+        return SqlType.TEXT
+    raise TypeCheckError(f"unsupported Python value for SQL: {type(value).__name__}")

@@ -1,0 +1,98 @@
+"""Null-aware scalar value helpers.
+
+Scalar values cross the engine boundary in two places: literals inside
+expressions, and rows returned to the caller.  Inside the executor everything
+is vectorized (see :mod:`repro.execution.expressions`); these helpers define
+the *scalar* semantics that the vectorized code must agree with, and they are
+what the property-based tests check the vectorized evaluator against.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from .datatypes import SqlType
+
+
+def is_null(value: Any) -> bool:
+    """SQL NULL test for a Python-level scalar."""
+    if value is None:
+        return True
+    if isinstance(value, float) and math.isnan(value):
+        # NaN never enters tables (the mask carries nullness), but guard
+        # against it leaking from numpy reductions.
+        return True
+    return False
+
+
+def sql_equal(left: Any, right: Any) -> bool | None:
+    """Three-valued '=' on scalars: NULL if either side is NULL."""
+    if is_null(left) or is_null(right):
+        return None
+    return left == right
+
+
+def sql_compare(left: Any, right: Any) -> int | None:
+    """Three-valued comparison: None on NULL, else -1/0/1."""
+    if is_null(left) or is_null(right):
+        return None
+    if left < right:
+        return -1
+    if left > right:
+        return 1
+    return 0
+
+
+def sql_and(left: bool | None, right: bool | None) -> bool | None:
+    """Kleene three-valued AND."""
+    if left is False or right is False:
+        return False
+    if left is None or right is None:
+        return None
+    return True
+
+
+def sql_or(left: bool | None, right: bool | None) -> bool | None:
+    """Kleene three-valued OR."""
+    if left is True or right is True:
+        return True
+    if left is None or right is None:
+        return None
+    return False
+
+
+def sql_not(value: bool | None) -> bool | None:
+    """Kleene three-valued NOT."""
+    if value is None:
+        return None
+    return not value
+
+
+def coerce_scalar(value: Any, target: SqlType) -> Any:
+    """Convert a Python scalar to the canonical Python form of ``target``.
+
+    Returns None unchanged (NULL survives any cast).
+    """
+    if is_null(value):
+        return None
+    if target is SqlType.INTEGER:
+        return int(value)
+    if target in (SqlType.FLOAT, SqlType.NUMERIC):
+        return float(value)
+    if target is SqlType.BOOLEAN:
+        if isinstance(value, str):
+            lowered = value.strip().lower()
+            if lowered in ("t", "true", "1"):
+                return True
+            if lowered in ("f", "false", "0"):
+                return False
+            raise ValueError(f"invalid boolean literal: {value!r}")
+        return bool(value)
+    if target is SqlType.TEXT:
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        if isinstance(value, float) and value.is_integer():
+            return str(value)
+        return str(value)
+    return value

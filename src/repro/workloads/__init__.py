@@ -1,0 +1,29 @@
+"""The paper's evaluation queries: PR, PR-VS, SSSP, SSSP-VS and FF."""
+
+from . import components, friends, pagerank, sssp
+from .components import (
+    component_count,
+    components_query,
+    reference_components,
+)
+from .friends import ff_query, reference_ff
+from .pagerank import pagerank_query, reference_pagerank
+from .sssp import INFINITY, reference_sssp, sssp_query, true_shortest_paths
+
+__all__ = [
+    "components",
+    "friends",
+    "pagerank",
+    "sssp",
+    "component_count",
+    "components_query",
+    "reference_components",
+    "ff_query",
+    "reference_ff",
+    "pagerank_query",
+    "reference_pagerank",
+    "INFINITY",
+    "reference_sssp",
+    "sssp_query",
+    "true_shortest_paths",
+]

@@ -1,0 +1,60 @@
+"""Connected components via min-label propagation — a classic iterative
+workload (cf. the paper's related-work graph systems) that exercises the
+DELTA termination condition: labels are monotone non-increasing, so
+``UNTIL DELTA = 0`` detects the fixed point and the query stops itself.
+"""
+
+from __future__ import annotations
+
+
+def components_query(max_iterations: int | None = None) -> str:
+    """Weakly connected components of the ``edges`` graph.
+
+    Every node starts labelled with its own id; each iteration lowers the
+    label to the minimum among itself and its (undirected) neighbours.
+    At the fixed point every node carries its component's smallest id.
+
+    ``max_iterations`` switches to metadata termination (for benchmarks);
+    the default is convergence via ``UNTIL DELTA = 0``.
+    """
+    until = ("DELTA = 0" if max_iterations is None
+             else f"{max_iterations} ITERATIONS")
+    return f"""
+WITH ITERATIVE cc (node, label) AS (
+  SELECT n, n FROM (SELECT src AS n FROM edges
+                    UNION SELECT dst FROM edges)
+  ITERATE
+  SELECT cc.node,
+         LEAST(cc.label, COALESCE(MIN(nbr.label), cc.label))
+  FROM cc
+   LEFT JOIN (SELECT src AS a, dst AS b FROM edges
+              UNION SELECT dst, src FROM edges) e
+     ON cc.node = e.a
+   LEFT JOIN cc AS nbr ON nbr.node = e.b
+  GROUP BY cc.node, cc.label
+  UNTIL {until}
+)
+SELECT node, label FROM cc
+"""
+
+
+def reference_components(edges: list[tuple[int, int, float]]
+                         ) -> dict[int, int]:
+    """Oracle: each node mapped to the smallest node id in its weakly
+    connected component (via networkx)."""
+    import networkx as nx
+
+    graph = nx.Graph()
+    nodes = {e[0] for e in edges} | {e[1] for e in edges}
+    graph.add_nodes_from(nodes)
+    graph.add_edges_from((s, d) for s, d, _ in edges)
+    labels: dict[int, int] = {}
+    for component in nx.connected_components(graph):
+        root = min(component)
+        for node in component:
+            labels[node] = root
+    return labels
+
+
+def component_count(labels: dict[int, int]) -> int:
+    return len(set(labels.values()))

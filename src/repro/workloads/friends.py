@@ -1,0 +1,103 @@
+"""The FF (Forecast Friends) query (paper Fig. 6) and its oracle.
+
+The query forecasts each node's number of friends as a geometric sequence:
+the non-iterative part computes the current friend count and a synthetic
+"previous year" count; each iteration multiplies by the growth ratio.
+Its iterative part is deliberately trivial (no joins, no aggregation) —
+the paper uses it to isolate data-movement cost (§VII-B) and to
+demonstrate predicate push down, whose benefit is controlled through the
+selectivity parameter X in ``MOD(node, X) = 0`` (§VII-D).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def ff_query(iterations: int = 5, selectivity_mod: int | None = 100,
+             order_and_limit: bool = True) -> str:
+    """The iterative-CTE forecast query.
+
+    ``selectivity_mod`` is the paper's X: the final part keeps nodes with
+    ``MOD(node, X) = 0`` — roughly a 1/X sample.  ``None`` drops the
+    final predicate entirely.
+    """
+    where_clause = ""
+    if selectivity_mod is not None:
+        where_clause = f"\nWHERE MOD(node, {selectivity_mod}) = 0"
+    tail = "\nORDER BY friends DESC LIMIT 10" if order_and_limit else ""
+    return f"""
+WITH ITERATIVE forecast (node, friends, friendsPrev)
+AS( SELECT src AS node, count(dst) AS friends,
+        ceiling(count(dst)
+            * (1.0-(src%10)/100.0)) AS friendsPrev
+    FROM edges GROUP BY src
+  ITERATE
+     SELECT node AS node,
+        round(cast((friends / friendsPrev)
+           * friends AS numeric), 5) AS friends,
+        friends AS friendsPrev
+     FROM forecast
+  UNTIL {iterations} ITERATIONS )
+SELECT node, friends
+FROM forecast{where_clause}{tail}
+"""
+
+
+def reference_ff(edges: list[tuple[int, int, float]],
+                 iterations: int = 5,
+                 selectivity_mod: int | None = 100
+                 ) -> dict[int, float]:
+    """Direct evaluation of the forecast recurrence for each source node.
+
+    Matches the SQL exactly, including the type promotion: the CTE
+    column ``friends`` unifies to FLOAT across R0 (count, integer) and Ri
+    (round(...), numeric), so the division is float division from the
+    first iteration.
+    """
+    outdegree: dict[int, int] = {}
+    for src, _dst, _w in edges:
+        outdegree[src] = outdegree.get(src, 0) + 1
+
+    result: dict[int, float] = {}
+    for node, degree in outdegree.items():
+        friends = float(degree)
+        previous = float(math.ceil(degree * (1.0 - (node % 10) / 100.0)))
+        for _ in range(iterations):
+            friends, previous = (round((friends / previous) * friends, 5),
+                                 friends)
+        if selectivity_mod is None or node % selectivity_mod == 0:
+            result[node] = friends
+    return result
+
+
+def stored_procedure_script(iterations: int = 5,
+                            selectivity_mod: int | None = 100) -> list[str]:
+    """Multi-statement FF for the §VII-E comparison."""
+    statements = [
+        "CREATE TABLE __ff_intermediate "
+        "(node int, friends float, friendsprev float)",
+        "CREATE TABLE __ff_result "
+        "(node int, friends float, friendsprev float)",
+        """INSERT INTO __ff_result
+             SELECT src AS node, count(dst) AS friends,
+                    ceiling(count(dst) * (1.0-(src%10)/100.0))
+             FROM edges GROUP BY src""",
+    ]
+    iteration_body = [
+        "DELETE FROM __ff_intermediate",
+        """INSERT INTO __ff_intermediate
+             SELECT node,
+                    round(cast((friends / friendsprev)
+                        * friends AS numeric), 5),
+                    friends
+             FROM __ff_result""",
+        """UPDATE __ff_result
+              SET friends = i.friends, friendsprev = i.friendsprev
+             FROM __ff_intermediate AS i
+            WHERE __ff_result.node = i.node""",
+    ]
+    for _ in range(iterations):
+        statements.extend(iteration_body)
+    statements.append("DROP TABLE __ff_intermediate")
+    return statements

@@ -1,0 +1,145 @@
+"""The PR and PR-VS queries (paper Fig. 2 and §V-A) plus a reference
+implementation used as a correctness oracle.
+
+The paper's PR is the delta-accumulative formulation of [19] (Maiter):
+
+    rank_{i+1}(v)  = rank_i(v) + delta_i(v)
+    delta_{i+1}(v) = 0.85 * Σ_{(u,v) ∈ E} delta_i(u) * weight(u, v)
+
+with rank_0 = 0 and delta_0 = 0.15.  With weight(u,v) = 1/outdegree(u)
+this converges to the unnormalized PageRank (per-node score scaled by n
+relative to the textbook 1/n-normalized variant).
+
+Fidelity note: as written in Fig. 2 the query leaves ``delta`` NULL for
+nodes with no incoming edges (SUM over an empty LEFT JOIN group), which
+then poisons ``rank``.  The synthetic graphs guarantee in-degree ≥ 1 so
+the faithful text is exact on them; ``coalesced=True`` produces the
+NULL-safe variant for arbitrary graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+DAMPING = 0.85
+BASE_DELTA = 0.15
+
+
+def pagerank_query(iterations: int = 10, coalesced: bool = False,
+                   with_vertex_status: bool = False,
+                   final_where: str | None = None) -> str:
+    """The iterative-CTE PageRank query.
+
+    ``with_vertex_status`` adds the §V-A join with ``vertexStatus``
+    (the PR-VS query); ``final_where`` adds a predicate to Qf.
+    """
+    delta_expr = "0.85 * SUM(IncomingRank.delta * IncomingEdges.Weight)"
+    if coalesced:
+        delta_expr = f"COALESCE({delta_expr}, 0.0)"
+
+    status_join = ""
+    status_where = ""
+    if with_vertex_status:
+        status_join = (
+            "\n     JOIN vertexStatus AS avail_pr"
+            "\n       ON avail_pr.node = IncomingEdges.dst")
+        status_where = "\n   WHERE avail_pr.status != 0"
+
+    where_clause = f" WHERE {final_where}" if final_where else ""
+
+    return f"""
+WITH ITERATIVE PageRank (Node, Rank, Delta)
+AS ( SELECT src, 0, {BASE_DELTA}
+      FROM (SELECT src FROM edges UNION SELECT dst FROM edges)
+  ITERATE
+   SELECT PageRank.node,
+     PageRank.rank + PageRank.delta,
+     {delta_expr}
+   FROM PageRank
+     LEFT JOIN edges AS IncomingEdges
+       ON PageRank.node = IncomingEdges.dst
+     LEFT JOIN PageRank AS IncomingRank
+       ON IncomingRank.node = IncomingEdges.src{status_join}{status_where}
+   GROUP BY PageRank.node, PageRank.rank + PageRank.delta
+  UNTIL {iterations} ITERATIONS )
+SELECT Node, Rank FROM PageRank{where_clause}
+"""
+
+
+def reference_pagerank(edges: list[tuple[int, int, float]],
+                       iterations: int = 10,
+                       available: Mapping[int, bool] | None = None
+                       ) -> dict[int, float]:
+    """Direct evaluation of the paper's recurrence (the oracle).
+
+    ``available`` restricts the update to available nodes (PR-VS):
+    unavailable nodes keep their initial state, and — matching the SQL,
+    where the working table only contains available nodes — their deltas
+    still propagate to neighbours.
+    """
+    nodes = sorted({e[0] for e in edges} | {e[1] for e in edges})
+    incoming: dict[int, list[tuple[int, float]]] = {v: [] for v in nodes}
+    for src, dst, weight in edges:
+        incoming[dst].append((src, weight))
+
+    rank = {v: 0.0 for v in nodes}
+    delta = {v: BASE_DELTA for v in nodes}
+    for _ in range(iterations):
+        new_rank = {}
+        new_delta = {}
+        for v in nodes:
+            if available is not None and not available.get(v, False):
+                continue
+            new_rank[v] = rank[v] + delta[v]
+            new_delta[v] = DAMPING * sum(
+                delta[u] * w for u, w in incoming[v])
+        rank.update(new_rank)
+        delta.update(new_delta)
+    return rank
+
+
+def stored_procedure_script(iterations: int = 10,
+                            with_vertex_status: bool = False) -> list[str]:
+    """The equivalent multi-statement implementation (§VII-E).
+
+    One statement list mirroring Fig. 1: create working tables, run the
+    non-iterative insert, then per iteration a DELETE + INSERT + UPDATE.
+    The engine executes these one at a time, exactly how it treats a
+    stored procedure body.
+    """
+    status_join = ""
+    status_where = ""
+    if with_vertex_status:
+        status_join = ("\n   JOIN vertexStatus AS avail_pr"
+                       "\n     ON avail_pr.node = IncomingEdges.dst")
+        status_where = "\n   AND avail_pr.status != 0"
+
+    statements = [
+        "CREATE TABLE __pr_intermediate (node int, rank float, delta float)",
+        "CREATE TABLE __pr_result (node int, rank float, delta float)",
+        """INSERT INTO __pr_result
+             SELECT src, 0, 0.15
+             FROM (SELECT src FROM edges UNION SELECT dst FROM edges)""",
+    ]
+    iteration_body = [
+        "DELETE FROM __pr_intermediate",
+        f"""INSERT INTO __pr_intermediate
+             SELECT PageRank.node,
+                    PageRank.rank + PageRank.delta,
+                    0.85 * SUM(IncomingRank.delta * IncomingEdges.Weight)
+             FROM __pr_result AS PageRank
+              LEFT JOIN edges AS IncomingEdges
+                ON PageRank.node = IncomingEdges.dst
+              LEFT JOIN __pr_result AS IncomingRank
+                ON IncomingRank.node = IncomingEdges.src{status_join}
+             WHERE TRUE{status_where}
+             GROUP BY PageRank.node, PageRank.rank + PageRank.delta""",
+        """UPDATE __pr_result
+              SET rank = i.rank, delta = i.delta
+             FROM __pr_intermediate AS i
+            WHERE __pr_result.node = i.node""",
+    ]
+    for _ in range(iterations):
+        statements.extend(iteration_body)
+    statements.append("DROP TABLE __pr_intermediate")
+    return statements

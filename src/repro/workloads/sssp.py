@@ -1,0 +1,147 @@
+"""The SSSP query (paper Fig. 7) and its reference oracle.
+
+The query maintains, per node, the best known distance and a ``delta``
+holding the best distance discovered through paths explored in the last
+round:
+
+    delta_{i+1}(v)    = min over incoming (u,v), delta_i(u) ≠ ∞,
+                        of delta_i(u) + weight(u,v)   (∞ if none)
+    distance_{i+1}(v) = LEAST(distance_i(v), delta_i(v))
+
+with distance_0 = ∞ and delta_0 = 0 for the source, ∞ otherwise (∞ is the
+sentinel 9999999, as in the paper).  The WHERE clause makes this a
+*partial* update — only reached nodes enter the working table — so the
+rewrite takes the merge path of Algorithm 1.
+"""
+
+from __future__ import annotations
+
+INFINITY = 9999999
+
+
+def sssp_query(source: int = 1, iterations: int = 10,
+               with_vertex_status: bool = False,
+               final_where: str | None = None) -> str:
+    """The iterative-CTE single-source-shortest-path query."""
+    status_join = ""
+    status_where = ""
+    if with_vertex_status:
+        status_join = ("\n    JOIN vertexStatus AS avail_d"
+                       "\n      ON avail_d.node = IncomingEdges.dst")
+        status_where = " AND avail_d.status != 0"
+    where_clause = f" WHERE {final_where}" if final_where else ""
+    return f"""
+WITH ITERATIVE sssp (Node, Distance, Delta)
+AS (SELECT src, {INFINITY}, CASE WHEN src = {source}
+         THEN 0 ELSE {INFINITY} END
+FROM (SELECT src FROM edges
+      UNION SELECT dst FROM edges)
+ ITERATE
+   SELECT sssp.node,
+     LEAST(sssp.distance, sssp.delta),
+     COALESCE(MIN(IncomingDistance.delta
+         + IncomingEdges.weight), {INFINITY})
+   FROM sssp
+    LEFT JOIN edges AS IncomingEdges ON
+     sssp.node = IncomingEdges.dst
+    LEFT JOIN sssp AS IncomingDistance ON
+     IncomingDistance.node = IncomingEdges.src{status_join}
+   WHERE IncomingDistance.Delta != {INFINITY}{status_where}
+   GROUP BY sssp.node,
+       LEAST(sssp.distance, sssp.delta)
+  UNTIL {iterations} ITERATIONS)
+SELECT Node, Distance FROM sssp{where_clause}
+"""
+
+
+def reference_sssp(edges: list[tuple[int, int, float]], source: int = 1,
+                   iterations: int = 10,
+                   available: dict[int, bool] | None = None
+                   ) -> dict[int, float]:
+    """Direct evaluation of the query's recurrence (the oracle).
+
+    Note this mirrors the *query*, not textbook Bellman-Ford: ``distance``
+    lags ``delta`` by one round, exactly as Fig. 7 computes it.
+    """
+    nodes = sorted({e[0] for e in edges} | {e[1] for e in edges})
+    incoming: dict[int, list[tuple[int, float]]] = {v: [] for v in nodes}
+    for src, dst, weight in edges:
+        incoming[dst].append((src, weight))
+
+    distance = {v: float(INFINITY) for v in nodes}
+    delta = {v: 0.0 if v == source else float(INFINITY) for v in nodes}
+
+    for _ in range(iterations):
+        new_distance = {}
+        new_delta = {}
+        for v in nodes:
+            if available is not None and not available.get(v, False):
+                continue
+            candidates = [delta[u] + w for u, w in incoming[v]
+                          if delta[u] != INFINITY]
+            if not candidates:
+                # WHERE filters the node out: it keeps its old values.
+                continue
+            new_distance[v] = min(distance[v], delta[v])
+            new_delta[v] = min(candidates)
+        distance.update(new_distance)
+        delta.update(new_delta)
+    return distance
+
+
+def true_shortest_paths(edges: list[tuple[int, int, float]],
+                        source: int = 1) -> dict[int, float]:
+    """Dijkstra distances (via networkx) — the convergence target."""
+    import networkx as nx
+
+    graph = nx.DiGraph()
+    nodes = {e[0] for e in edges} | {e[1] for e in edges}
+    graph.add_nodes_from(nodes)
+    graph.add_weighted_edges_from(edges)
+    lengths = nx.single_source_dijkstra_path_length(graph, source)
+    return {v: lengths.get(v, float(INFINITY)) for v in nodes}
+
+
+def stored_procedure_script(source: int = 1, iterations: int = 10,
+                            with_vertex_status: bool = False) -> list[str]:
+    """Multi-statement SSSP for the §VII-E comparison."""
+    status_join = ""
+    status_where = ""
+    if with_vertex_status:
+        status_join = ("\n  JOIN vertexStatus AS avail_d"
+                       "\n    ON avail_d.node = IncomingEdges.dst")
+        status_where = " AND avail_d.status != 0"
+
+    statements = [
+        "CREATE TABLE __sssp_intermediate "
+        "(node int, distance float, delta float)",
+        "CREATE TABLE __sssp_result "
+        "(node int, distance float, delta float)",
+        f"""INSERT INTO __sssp_result
+             SELECT src, {INFINITY}, CASE WHEN src = {source}
+                 THEN 0 ELSE {INFINITY} END
+             FROM (SELECT src FROM edges UNION SELECT dst FROM edges)""",
+    ]
+    iteration_body = [
+        "DELETE FROM __sssp_intermediate",
+        f"""INSERT INTO __sssp_intermediate
+             SELECT sssp.node,
+                    LEAST(sssp.distance, sssp.delta),
+                    COALESCE(MIN(IncomingDistance.delta
+                        + IncomingEdges.weight), {INFINITY})
+             FROM __sssp_result AS sssp
+              LEFT JOIN edges AS IncomingEdges
+                ON sssp.node = IncomingEdges.dst
+              LEFT JOIN __sssp_result AS IncomingDistance
+                ON IncomingDistance.node = IncomingEdges.src{status_join}
+             WHERE IncomingDistance.Delta != {INFINITY}{status_where}
+             GROUP BY sssp.node, LEAST(sssp.distance, sssp.delta)""",
+        """UPDATE __sssp_result
+              SET distance = i.distance, delta = i.delta
+             FROM __sssp_intermediate AS i
+            WHERE __sssp_result.node = i.node""",
+    ]
+    for _ in range(iterations):
+        statements.extend(iteration_body)
+    statements.append("DROP TABLE __sssp_intermediate")
+    return statements

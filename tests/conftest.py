@@ -1,0 +1,69 @@
+"""Shared fixtures: small graphs and pre-loaded databases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.types import SqlType
+
+# A small weighted digraph used across tests:
+#
+#   1 -> 2 (0.5)   1 -> 3 (0.5)   2 -> 3 (1.0)   3 -> 1 (1.0)   4 -> 1 (1.0)
+#
+# Every node has an incoming edge except 4; weights on 1's edges are
+# out-degree-normalized.
+SMALL_EDGES = [
+    (1, 2, 0.5),
+    (1, 3, 0.5),
+    (2, 3, 1.0),
+    (3, 1, 1.0),
+    (4, 1, 1.0),
+]
+
+# Availability used by PR-VS / SSSP-VS tests: node 3 is unavailable.
+SMALL_STATUS = [(1, 1), (2, 1), (3, 0), (4, 1)]
+
+
+@pytest.fixture
+def db() -> Database:
+    """An empty database."""
+    return Database()
+
+
+@pytest.fixture
+def graph_db() -> Database:
+    """A database with the small edges table loaded."""
+    database = Database()
+    database.create_table("edges", [("src", SqlType.INTEGER),
+                                    ("dst", SqlType.INTEGER),
+                                    ("weight", SqlType.FLOAT)])
+    database.load_rows("edges", SMALL_EDGES)
+    return database
+
+
+@pytest.fixture
+def graph_vs_db(graph_db: Database) -> Database:
+    """The small graph plus the vertexStatus table."""
+    graph_db.create_table("vertexStatus", [("node", SqlType.INTEGER),
+                                           ("status", SqlType.INTEGER)])
+    graph_db.load_rows("vertexStatus", SMALL_STATUS)
+    return graph_db
+
+
+@pytest.fixture
+def people_db() -> Database:
+    """A small non-graph table for general SQL tests."""
+    database = Database()
+    database.create_table("people", [("id", SqlType.INTEGER),
+                                     ("name", SqlType.TEXT),
+                                     ("age", SqlType.INTEGER),
+                                     ("city", SqlType.TEXT)])
+    database.load_rows("people", [
+        (1, "ada", 36, "london"),
+        (2, "grace", 45, "new york"),
+        (3, "alan", 41, "london"),
+        (4, "edsger", 72, None),
+        (5, "barbara", None, "boston"),
+    ])
+    return database

@@ -1,0 +1,116 @@
+"""Connected-components workload tests (DELTA-convergence on a real
+iterative computation) plus LogicalRename edge cases."""
+
+import pytest
+
+from repro import Database
+from repro.datasets import dblp_like, fresh_database, generate_edges
+from repro.types import SqlType
+from repro.workloads import (
+    component_count,
+    components_query,
+    reference_components,
+)
+
+
+def island_db(edges):
+    db = Database()
+    db.create_table("edges", [("src", SqlType.INTEGER),
+                              ("dst", SqlType.INTEGER),
+                              ("weight", SqlType.FLOAT)])
+    db.load_rows("edges", edges)
+    return db
+
+
+class TestConnectedComponents:
+    ISLANDS = [(1, 2, 1.0), (2, 3, 1.0), (5, 6, 1.0), (8, 8, 1.0),
+               (9, 10, 1.0), (10, 9, 1.0)]
+
+    def test_matches_networkx(self):
+        db = island_db(self.ISLANDS)
+        labels = dict(db.execute(components_query()).rows())
+        assert labels == reference_components(self.ISLANDS)
+
+    def test_component_count(self):
+        db = island_db(self.ISLANDS)
+        labels = dict(db.execute(components_query()).rows())
+        assert component_count(labels) == 4  # {1,2,3} {5,6} {8} {9,10}
+
+    def test_converges_via_delta(self):
+        db = island_db(self.ISLANDS)
+        db.reset_stats()
+        db.execute(components_query())
+        # Longest chain has 3 nodes: convergence plus one confirming
+        # iteration.
+        assert db.stats.iterations <= 4
+
+    def test_connected_synthetic_graph_is_one_component(self):
+        # The generators chain all nodes, so everything is connected.
+        spec = dblp_like(nodes=120, seed=13)
+        db = fresh_database(spec)
+        labels = dict(db.execute(components_query()).rows())
+        assert component_count(labels) == 1
+        assert set(labels.values()) == {0}
+
+    def test_direction_is_ignored(self):
+        # 1->2 and 3->2: weakly connected despite opposing directions.
+        db = island_db([(1, 2, 1.0), (3, 2, 1.0)])
+        labels = dict(db.execute(components_query()).rows())
+        assert component_count(labels) == 1
+
+    def test_metadata_termination_variant(self):
+        db = island_db(self.ISLANDS)
+        partial = dict(db.execute(
+            components_query(max_iterations=1)).rows())
+        converged = dict(db.execute(components_query()).rows())
+        # One iteration is not enough for the 3-chain.
+        assert partial != converged
+        assert partial[3] == 2  # moved one hop toward the minimum
+
+
+class TestDuplicateOutputColumns:
+    """LogicalRename regression tests: positional relabeling must survive
+    duplicate names that defeat name-based projection."""
+
+    def test_select_same_column_twice(self, graph_db):
+        rows = graph_db.execute(
+            "SELECT src, src FROM edges WHERE dst = 3 ORDER BY src").rows()
+        assert rows == [(1, 1), (2, 2)]
+
+    def test_duplicate_columns_in_cte(self, graph_db):
+        rows = graph_db.execute("""
+            WITH pairs (a, b) AS (SELECT src, src FROM edges)
+            SELECT a, b FROM pairs WHERE a = b AND a = 1""").rows()
+        assert rows == [(1, 1), (1, 1)]
+
+    def test_duplicate_columns_in_iterative_init(self, db):
+        rows = db.execute("""
+            WITH ITERATIVE r (x, y) AS (
+              SELECT 7, 7 ITERATE SELECT x, y + 1 FROM r
+              UNTIL 3 ITERATIONS
+            ) SELECT x, y FROM r""").rows()
+        assert rows == [(7, 10)]
+
+    def test_duplicate_columns_in_derived_table(self, graph_db):
+        rows = graph_db.execute("""
+            SELECT t.a FROM (SELECT src AS a, src AS b FROM edges) t
+            WHERE t.b = 4""").rows()
+        assert rows == [(4,)]
+
+    def test_filter_still_pushes_through_rename(self, graph_db):
+        """The rename operator must not block pushdown for the common
+        unique-name case."""
+        from repro.plan import (
+            LogicalFilter, LogicalScan, PlanContext, build_statement,
+        )
+        from repro.rewrite import apply_rules, push_filters
+        from repro.sql import parse
+        plan = build_statement(parse("""
+            WITH pairs (a, b) AS (SELECT src, dst FROM edges)
+            SELECT a FROM pairs WHERE b = 3"""),
+            PlanContext(graph_db.catalog))
+        rewritten = apply_rules(plan, [push_filters])
+        filters = [n for n in rewritten.walk()
+                   if isinstance(n, LogicalFilter)]
+        assert filters
+        assert all(isinstance(f.child, LogicalScan) for f in filters)

@@ -1,0 +1,152 @@
+"""Dataset IO tests: SNAP edge lists, weight normalization, CSV loading,
+and EXPLAIN ANALYZE output."""
+
+import pytest
+
+from repro import Database
+from repro.datasets import (
+    dblp_like,
+    generate_edges,
+    load_delimited,
+    load_edge_file,
+    normalize_weights,
+    read_snap_edge_list,
+    write_snap_edge_list,
+)
+from repro.errors import ReproError
+from repro.types import SqlType
+
+
+SNAP_SAMPLE = """\
+# Directed graph (each unordered pair of nodes is saved once)
+# FromNodeId\tToNodeId
+0\t1
+0\t2
+1\t2
+2\t0
+"""
+
+
+@pytest.fixture
+def snap_file(tmp_path):
+    path = tmp_path / "sample.txt"
+    path.write_text(SNAP_SAMPLE)
+    return path
+
+
+class TestSnapReader:
+    def test_reads_edges_skipping_comments(self, snap_file):
+        edges = read_snap_edge_list(snap_file)
+        assert edges == [(0, 1), (0, 2), (1, 2), (2, 0)]
+
+    def test_undirected_doubles_edges(self, snap_file):
+        edges = read_snap_edge_list(snap_file, directed=False)
+        assert len(edges) == 8
+        assert (1, 0) in edges
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(ReproError):
+            read_snap_edge_list(path)
+
+    def test_non_integer_ids(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a\tb\n")
+        with pytest.raises(ReproError):
+            read_snap_edge_list(path)
+
+    def test_roundtrip_with_writer(self, tmp_path):
+        edges = generate_edges(dblp_like(nodes=50))
+        path = tmp_path / "out.txt"
+        written = write_snap_edge_list(edges, path, comment="synthetic")
+        assert written == len(edges)
+        read_back = read_snap_edge_list(path)
+        assert read_back == [(s, d) for s, d, _ in edges]
+
+
+class TestWeightNormalization:
+    def test_weights_sum_to_one_per_source(self):
+        weighted = normalize_weights([(1, 2), (1, 3), (2, 3)])
+        totals = {}
+        for src, _, weight in weighted:
+            totals[src] = totals.get(src, 0.0) + weight
+        assert totals == pytest.approx({1: 1.0, 2: 1.0})
+
+    def test_empty(self):
+        assert normalize_weights([]) == []
+
+
+class TestLoadEdgeFile:
+    def test_load_and_query(self, snap_file):
+        db = Database()
+        count = load_edge_file(db, snap_file)
+        assert count == 4
+        assert db.execute("SELECT COUNT(*) FROM edges").scalar() == 4
+        # Node 0 has two outgoing edges, each weighted 0.5.
+        weight = db.execute(
+            "SELECT weight FROM edges WHERE src = 0 AND dst = 1").scalar()
+        assert weight == 0.5
+
+    def test_loaded_graph_runs_pagerank(self, snap_file):
+        from repro.workloads import pagerank_query, reference_pagerank
+        db = Database()
+        load_edge_file(db, snap_file)
+        rows = dict(db.execute(
+            pagerank_query(iterations=5, coalesced=True)).rows())
+        edges = normalize_weights(read_snap_edge_list(snap_file))
+        reference = reference_pagerank(edges, iterations=5)
+        for node, rank in rows.items():
+            assert rank == pytest.approx(reference[node])
+
+
+class TestDelimitedLoader:
+    def test_csv_with_header_and_nulls(self, tmp_path, db):
+        path = tmp_path / "status.csv"
+        path.write_text("node,status\n1,1\n2,\n3,0\n")
+        count = load_delimited(db, path, "vertexstatus",
+                               [("node", SqlType.INTEGER),
+                                ("status", SqlType.INTEGER)])
+        assert count == 3
+        rows = db.execute(
+            "SELECT node, status FROM vertexstatus ORDER BY node").rows()
+        assert rows == [(1, 1), (2, None), (3, 0)]
+
+    def test_tsv_without_header(self, tmp_path, db):
+        path = tmp_path / "data.tsv"
+        path.write_text("1\tx\n2\ty\n")
+        count = load_delimited(db, path, "t",
+                               [("id", SqlType.INTEGER),
+                                ("label", SqlType.TEXT)],
+                               delimiter="\t", header=False)
+        assert count == 2
+
+    def test_field_count_mismatch(self, tmp_path, db):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1\n")
+        with pytest.raises(ReproError):
+            load_delimited(db, path, "t", [("a", SqlType.INTEGER),
+                                           ("b", SqlType.INTEGER)])
+
+    def test_unparsable_value(self, tmp_path, db):
+        path = tmp_path / "bad.csv"
+        path.write_text("a\nnot_a_number\n")
+        with pytest.raises(ReproError):
+            load_delimited(db, path, "t", [("a", SqlType.INTEGER)])
+
+
+class TestExplainAnalyze:
+    def test_iterative_step_counts(self, graph_db):
+        from repro.workloads import pagerank_query
+        text = graph_db.explain_analyze(pagerank_query(iterations=7))
+        assert "executions=7" in text  # the iterative materialize
+        assert "executions=1" in text  # the non-iterative part
+        assert "ms)" in text
+
+    def test_rows_counted(self, graph_db):
+        text = graph_db.explain_analyze("SELECT * FROM edges")
+        assert "rows=5" in text
+
+    def test_rejects_dml(self, graph_db):
+        with pytest.raises(ReproError):
+            graph_db.explain_analyze("DELETE FROM edges")

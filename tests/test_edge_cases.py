@@ -1,0 +1,238 @@
+"""Engine edge cases: empty inputs, degenerate shapes, error paths, and
+behaviours easy to break during refactoring."""
+
+import pytest
+
+from repro import Database
+from repro.errors import (
+    BindError,
+    CatalogError,
+    ExecutionError,
+    PlanError,
+    ReproError,
+    SqlSyntaxError,
+)
+from repro.types import SqlType
+
+
+@pytest.fixture
+def empty_db(db):
+    db.execute("CREATE TABLE empty (a int, b float)")
+    return db
+
+
+class TestEmptyInputs:
+    def test_scan_empty(self, empty_db):
+        assert empty_db.execute("SELECT * FROM empty").rows() == []
+
+    def test_filter_empty(self, empty_db):
+        assert empty_db.execute(
+            "SELECT * FROM empty WHERE a > 0").rows() == []
+
+    def test_join_with_empty_side(self, empty_db):
+        empty_db.execute("CREATE TABLE full_t (a int)")
+        empty_db.load_rows("full_t", [(1,), (2,)])
+        assert empty_db.execute("""
+            SELECT * FROM full_t JOIN empty ON full_t.a = empty.a
+        """).rows() == []
+        rows = empty_db.execute("""
+            SELECT full_t.a, empty.b FROM full_t
+            LEFT JOIN empty ON full_t.a = empty.a ORDER BY full_t.a""").rows()
+        assert rows == [(1, None), (2, None)]
+
+    def test_group_by_empty(self, empty_db):
+        assert empty_db.execute(
+            "SELECT a, COUNT(*) FROM empty GROUP BY a").rows() == []
+
+    def test_distinct_empty(self, empty_db):
+        assert empty_db.execute(
+            "SELECT DISTINCT a FROM empty").rows() == []
+
+    def test_sort_limit_empty(self, empty_db):
+        assert empty_db.execute(
+            "SELECT a FROM empty ORDER BY a LIMIT 5").rows() == []
+
+    def test_union_of_empties(self, empty_db):
+        assert empty_db.execute("""
+            SELECT a FROM empty UNION SELECT a FROM empty""").rows() == []
+
+    def test_iterative_cte_over_empty_init(self, empty_db):
+        rows = empty_db.execute("""
+            WITH ITERATIVE r (a, b) AS (
+              SELECT a, b FROM empty ITERATE SELECT a, b + 1 FROM r
+              UNTIL 3 ITERATIONS
+            ) SELECT COUNT(*) FROM r""").rows()
+        assert rows == [(0,)]
+
+    def test_data_termination_on_empty_cte(self, empty_db):
+        # DATA_ALL over zero rows is vacuously true: stops immediately.
+        empty_db.reset_stats()
+        empty_db.execute("""
+            WITH ITERATIVE r (a) AS (
+              SELECT a FROM empty ITERATE SELECT a FROM r UNTIL ALL a > 0
+            ) SELECT COUNT(*) FROM r""")
+        assert empty_db.stats.iterations == 1
+
+    def test_analyze_empty_table(self, empty_db):
+        empty_db.execute("ANALYZE empty")
+        stats = empty_db.statistics.table("empty")
+        assert stats.row_count == 0
+        assert stats.column("a").distinct_count == 0
+
+
+class TestDegenerateShapes:
+    def test_single_row_single_column(self, db):
+        assert db.execute("SELECT 42").scalar() == 42
+
+    def test_select_only_literals_with_from(self, graph_db):
+        rows = graph_db.execute("SELECT 1 FROM edges").rows()
+        assert rows == [(1,)] * 5
+
+    def test_group_by_constant_expression(self, graph_db):
+        rows = graph_db.execute(
+            "SELECT src - src, COUNT(*) FROM edges "
+            "GROUP BY src - src").rows()
+        assert rows == [(0, 5)]
+
+    def test_limit_zero(self, graph_db):
+        assert graph_db.execute(
+            "SELECT * FROM edges LIMIT 0").rows() == []
+
+    def test_offset_beyond_end(self, graph_db):
+        assert graph_db.execute(
+            "SELECT * FROM edges LIMIT 5 OFFSET 100").rows() == []
+
+    def test_deeply_nested_subqueries(self, graph_db):
+        rows = graph_db.execute("""
+            SELECT x FROM (SELECT y AS x FROM
+              (SELECT src AS y FROM (SELECT src FROM edges) a) b) c
+            ORDER BY x LIMIT 1""").rows()
+        assert rows == [(1,)]
+
+    def test_many_union_arms(self, db):
+        arms = " UNION ALL ".join(f"SELECT {i}" for i in range(20))
+        assert len(db.execute(arms).rows()) == 20
+
+    def test_long_and_chain(self, graph_db):
+        predicate = " AND ".join(["src >= 0"] * 30)
+        rows = graph_db.execute(
+            f"SELECT COUNT(*) FROM edges WHERE {predicate}").scalar()
+        assert rows == 5
+
+    def test_self_join_three_levels(self, graph_db):
+        rows = graph_db.execute("""
+            SELECT COUNT(*) FROM edges a
+            JOIN edges b ON a.dst = b.src
+            JOIN edges c ON b.dst = c.src""").scalar()
+        assert rows > 0
+
+    def test_iterative_cte_one_row(self, db):
+        rows = db.execute("""
+            WITH ITERATIVE r (x) AS (
+              SELECT 0 ITERATE SELECT x + 1 FROM r UNTIL 100 ITERATIONS
+            ) SELECT x FROM r""").scalar()
+        assert rows == 100
+
+
+class TestErrorPaths:
+    def test_syntax_error_has_location(self, db):
+        with pytest.raises(SqlSyntaxError) as excinfo:
+            db.execute("SELECT FROM t")
+        assert "line 1" in str(excinfo.value)
+
+    def test_unknown_column_lists_available(self, graph_db):
+        with pytest.raises(BindError) as excinfo:
+            graph_db.execute("SELECT nonexistent FROM edges")
+        assert "src" in str(excinfo.value)  # helpful message
+
+    def test_insert_into_missing_table(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("INSERT INTO ghost VALUES (1)")
+
+    def test_division_by_zero_is_execution_error(self, graph_db):
+        with pytest.raises(ExecutionError):
+            graph_db.execute("SELECT src / (src - src) FROM edges")
+
+    def test_iterative_cte_in_subquery_rejected_clearly(self, graph_db):
+        with pytest.raises(PlanError) as excinfo:
+            graph_db.execute("""
+                SELECT * FROM (
+                  WITH ITERATIVE r (x) AS (
+                    SELECT 1 ITERATE SELECT x FROM r UNTIL 1 ITERATIONS
+                  ) SELECT * FROM r) t""")
+        assert "iterative" in str(excinfo.value).lower()
+
+    def test_dml_inside_explain_rejected(self, graph_db):
+        with pytest.raises(ReproError):
+            graph_db.explain("DELETE FROM edges")
+
+    def test_order_by_unknown_column(self, graph_db):
+        with pytest.raises(BindError):
+            graph_db.execute("SELECT src FROM edges ORDER BY ghost")
+
+    def test_having_without_group_by_uses_global_group(self, graph_db):
+        rows = graph_db.execute(
+            "SELECT COUNT(*) FROM edges HAVING COUNT(*) > 100").rows()
+        assert rows == []
+
+
+class TestStateIsolation:
+    def test_failed_query_leaves_catalog_intact(self, graph_db):
+        with pytest.raises(BindError):
+            graph_db.execute("SELECT ghost FROM edges")
+        assert graph_db.execute(
+            "SELECT COUNT(*) FROM edges").scalar() == 5
+
+    def test_registry_cleanup_between_queries(self, graph_db):
+        from repro.workloads import pagerank_query
+        graph_db.execute(pagerank_query(iterations=2))
+        graph_db.execute(pagerank_query(iterations=2))
+        assert graph_db.registry.names() == []
+
+    def test_concurrent_iterative_cte_names_do_not_collide(self, db):
+        # Two CTEs with the same name in different statements.
+        sql = """
+        WITH ITERATIVE r (x) AS (
+          SELECT 1 ITERATE SELECT x + 1 FROM r UNTIL 2 ITERATIONS
+        ) SELECT x FROM r"""
+        assert db.execute(sql).scalar() == 3
+        assert db.execute(sql).scalar() == 3
+
+    def test_options_apply_per_statement(self, graph_db):
+        from repro.workloads import pagerank_query
+        graph_db.set_option("enable_rename", False)
+        graph_db.reset_stats()
+        graph_db.execute(pagerank_query(iterations=2))
+        assert graph_db.stats.renames == 0
+        graph_db.set_option("enable_rename", True)
+        graph_db.reset_stats()
+        graph_db.execute(pagerank_query(iterations=2))
+        assert graph_db.stats.renames == 2
+
+
+class TestLargerScale:
+    def test_hundred_iteration_loop(self, db):
+        db.execute("CREATE TABLE t (k int, v float)")
+        db.load_rows("t", [(i, 1.0) for i in range(200)])
+        result = db.execute("""
+            WITH ITERATIVE r (k, v) AS (
+              SELECT k, v FROM t ITERATE SELECT k, v * 1.01 FROM r
+              UNTIL 100 ITERATIONS
+            ) SELECT MIN(v), MAX(v) FROM r""").rows()[0]
+        assert result[0] == pytest.approx(1.01 ** 100)
+        assert result[0] == pytest.approx(result[1])
+
+    def test_wide_join_fanout(self, db):
+        db.execute("CREATE TABLE t (k int)")
+        db.load_rows("t", [(i % 5,) for i in range(100)])
+        count = db.execute("""
+            SELECT COUNT(*) FROM t a JOIN t b ON a.k = b.k""").scalar()
+        assert count == 5 * 20 * 20
+
+    def test_many_groups(self, db):
+        db.execute("CREATE TABLE t (k int, v int)")
+        db.load_rows("t", [(i, i) for i in range(5000)])
+        count = db.execute("""
+            SELECT COUNT(*) FROM (SELECT k, SUM(v) FROM t GROUP BY k) g
+        """).scalar()
+        assert count == 5000

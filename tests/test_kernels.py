@@ -1,0 +1,193 @@
+"""Kernel tests: key encoding, join-pair generation, grouping, sorting —
+checked against brute-force references with hypothesis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.execution.kernels import (
+    distinct_indices,
+    encode_keys,
+    equi_join_pairs,
+    factorize,
+    group_ids,
+    sort_indices,
+)
+from repro.storage import Column
+from repro.types import SqlType
+
+int_lists = st.lists(st.one_of(st.none(), st.integers(-20, 20)), max_size=40)
+
+
+class TestFactorize:
+    def test_basic_codes(self):
+        column = Column.from_values(SqlType.INTEGER, [5, 3, 5, 3, 9])
+        codes, cardinality = factorize(column, nulls_match=False)
+        assert cardinality == 3
+        assert codes[0] == codes[2]
+        assert codes[1] == codes[3]
+        assert len(set(codes.tolist())) == 3
+
+    def test_nulls_no_match(self):
+        column = Column.from_values(SqlType.INTEGER, [1, None, 1, None])
+        codes, _ = factorize(column, nulls_match=False)
+        assert codes[1] == -1 and codes[3] == -1
+
+    def test_nulls_match_form_a_group(self):
+        column = Column.from_values(SqlType.INTEGER, [1, None, None])
+        codes, cardinality = factorize(column, nulls_match=True)
+        assert codes[1] == codes[2] >= 0
+        assert cardinality == 2
+
+    def test_text_column(self):
+        column = Column.from_values(SqlType.TEXT, ["a", "b", "a", None])
+        codes, _ = factorize(column, nulls_match=False)
+        assert codes[0] == codes[2]
+        assert codes[3] == -1
+
+    def test_empty(self):
+        column = Column.from_values(SqlType.INTEGER, [])
+        codes, cardinality = factorize(column, nulls_match=False)
+        assert len(codes) == 0
+        assert cardinality == 0
+
+
+class TestEncodeKeys:
+    def test_multi_column_distinguishes(self):
+        a = Column.from_values(SqlType.INTEGER, [1, 1, 2, 2])
+        b = Column.from_values(SqlType.INTEGER, [1, 2, 1, 1])
+        codes = encode_keys([a, b], nulls_match=True)
+        assert codes[2] == codes[3]
+        assert len(set(codes.tolist())) == 3
+
+    def test_null_poisons_join_keys(self):
+        a = Column.from_values(SqlType.INTEGER, [1, 1])
+        b = Column.from_values(SqlType.INTEGER, [2, None])
+        codes = encode_keys([a, b], nulls_match=False)
+        assert codes[1] == -1
+        assert codes[0] >= 0
+
+    @given(int_lists, int_lists)
+    def test_equal_rows_get_equal_codes(self, a_vals, b_vals):
+        size = min(len(a_vals), len(b_vals))
+        a = Column.from_values(SqlType.INTEGER, a_vals[:size])
+        b = Column.from_values(SqlType.INTEGER, b_vals[:size])
+        codes = encode_keys([a, b], nulls_match=True)
+        rows = list(zip(a_vals[:size], b_vals[:size]))
+        for i in range(size):
+            for j in range(size):
+                assert (codes[i] == codes[j]) == (rows[i] == rows[j])
+
+
+class TestEquiJoinPairs:
+    def _pairs(self, left, right):
+        left_col = Column.from_values(SqlType.INTEGER, left)
+        right_col = Column.from_values(SqlType.INTEGER, right)
+        joint = left_col.concat(right_col)
+        codes = encode_keys([joint], nulls_match=False)
+        li, ri = equi_join_pairs(codes[:len(left)], codes[len(left):])
+        return sorted(zip(li.tolist(), ri.tolist()))
+
+    def test_simple_join(self):
+        pairs = self._pairs([1, 2, 3], [2, 3, 3])
+        assert pairs == [(1, 0), (2, 1), (2, 2)]
+
+    def test_no_matches(self):
+        assert self._pairs([1, 2], [3, 4]) == []
+
+    def test_nulls_never_match(self):
+        assert self._pairs([None], [None]) == []
+
+    def test_duplicates_multiply(self):
+        pairs = self._pairs([1, 1], [1, 1, 1])
+        assert len(pairs) == 6
+
+    def test_empty_sides(self):
+        assert self._pairs([], [1]) == []
+        assert self._pairs([1], []) == []
+
+    @given(int_lists, int_lists)
+    @settings(max_examples=60)
+    def test_matches_brute_force(self, left, right):
+        expected = sorted(
+            (i, j)
+            for i, lv in enumerate(left) if lv is not None
+            for j, rv in enumerate(right) if rv == lv and rv is not None)
+        assert self._pairs(left, right) == expected
+
+    def test_pairs_grouped_by_left_row_order(self):
+        left_col = Column.from_values(SqlType.INTEGER, [3, 1, 3])
+        right_col = Column.from_values(SqlType.INTEGER, [3, 1])
+        joint = left_col.concat(right_col)
+        codes = encode_keys([joint], nulls_match=False)
+        li, _ = equi_join_pairs(codes[:3], codes[3:])
+        assert li.tolist() == sorted(li.tolist())
+
+
+class TestGroupIds:
+    def test_group_structure(self):
+        column = Column.from_values(SqlType.INTEGER, [7, 7, 8, 7])
+        codes = encode_keys([column], nulls_match=True)
+        gids, first = group_ids(codes)
+        assert len(first) == 2
+        assert gids[0] == gids[1] == gids[3]
+        assert gids[2] != gids[0]
+
+    @given(int_lists)
+    def test_first_index_points_to_representative(self, values):
+        if not values:
+            return
+        column = Column.from_values(SqlType.INTEGER, values)
+        codes = encode_keys([column], nulls_match=True)
+        gids, first = group_ids(codes)
+        for gid, index in enumerate(first):
+            assert gids[index] == gid
+
+
+class TestDistinct:
+    def test_keeps_first_occurrence(self):
+        a = Column.from_values(SqlType.INTEGER, [1, 2, 1, 3, 2])
+        keep = distinct_indices([a])
+        assert keep.tolist() == [0, 1, 3]
+
+    def test_nulls_are_one_value(self):
+        a = Column.from_values(SqlType.INTEGER, [None, None, 1])
+        assert len(distinct_indices([a])) == 2
+
+    @given(int_lists)
+    def test_distinct_count_matches_set(self, values):
+        if not values:
+            return
+        column = Column.from_values(SqlType.INTEGER, values)
+        expected = len({(v is None, v) for v in values})
+        assert len(distinct_indices([column])) == expected
+
+
+class TestSort:
+    def test_ascending_with_nulls_last(self):
+        column = Column.from_values(SqlType.INTEGER, [3, None, 1])
+        order = sort_indices([column], [True])
+        assert order.tolist() == [2, 0, 1]
+
+    def test_descending(self):
+        column = Column.from_values(SqlType.INTEGER, [3, 1, 2])
+        order = sort_indices([column], [False])
+        assert [column[i] for i in order] == [3, 2, 1]
+
+    def test_multi_key(self):
+        a = Column.from_values(SqlType.INTEGER, [1, 1, 0])
+        b = Column.from_values(SqlType.INTEGER, [2, 1, 9])
+        order = sort_indices([a, b], [True, True])
+        assert order.tolist() == [2, 1, 0]
+
+    def test_stability(self):
+        a = Column.from_values(SqlType.INTEGER, [1, 1, 1])
+        order = sort_indices([a], [True])
+        assert order.tolist() == [0, 1, 2]
+
+    @given(st.lists(st.integers(-50, 50), max_size=40))
+    def test_matches_python_sorted(self, values):
+        column = Column.from_values(SqlType.INTEGER, values)
+        order = sort_indices([column], [True])
+        assert [column[i] for i in order] == sorted(values)

@@ -1,0 +1,137 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import TokenType
+
+
+def kinds(sql):
+    return [t.type for t in tokenize(sql)[:-1]]  # drop EOF
+
+
+def texts(sql):
+    return [t.text for t in tokenize(sql)[:-1]]
+
+
+class TestBasicTokens:
+    def test_keywords_are_recognized(self):
+        tokens = tokenize("SELECT FROM WHERE")
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_keywords_are_case_insensitive(self):
+        assert kinds("select SeLeCt SELECT") == [TokenType.KEYWORD] * 3
+
+    def test_identifiers(self):
+        assert kinds("edges foo_bar x1") == [TokenType.IDENTIFIER] * 3
+
+    def test_iterative_extension_keywords(self):
+        tokens = tokenize("ITERATIVE ITERATE UNTIL ITERATIONS UPDATES")
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_eof_is_last(self):
+        assert tokenize("x")[-1].type is TokenType.EOF
+
+    def test_empty_input(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+
+class TestNumbers:
+    def test_integer(self):
+        (token,) = tokenize("42")[:-1]
+        assert token.type is TokenType.NUMBER
+        assert token.text == "42"
+
+    def test_float(self):
+        assert texts("0.15") == ["0.15"]
+
+    def test_leading_dot(self):
+        assert texts(".5") == [".5"]
+
+    def test_exponent(self):
+        assert texts("1e5 1.5E-3 2e+4") == ["1e5", "1.5E-3", "2e+4"]
+
+    def test_number_then_dot_identifier_is_trailing_dot_float(self):
+        # "1." is a float per the grammar.
+        tokens = tokenize("1.")
+        assert tokens[0].text == "1."
+
+
+class TestStrings:
+    def test_simple_string(self):
+        (token,) = tokenize("'hello'")[:-1]
+        assert token.type is TokenType.STRING
+        assert token.text == "hello"
+
+    def test_escaped_quote(self):
+        (token,) = tokenize("'it''s'")[:-1]
+        assert token.text == "it's"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_empty_string(self):
+        (token,) = tokenize("''")[:-1]
+        assert token.text == ""
+
+
+class TestQuotedIdentifiers:
+    def test_quoted_identifier(self):
+        (token,) = tokenize('"My Table"')[:-1]
+        assert token.type is TokenType.IDENTIFIER
+        assert token.text == "My Table"
+
+    def test_quoted_keyword_stays_identifier(self):
+        (token,) = tokenize('"select"')[:-1]
+        assert token.type is TokenType.IDENTIFIER
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize('"oops')
+
+
+class TestOperatorsAndPunctuation:
+    def test_multi_char_operators(self):
+        assert texts("<> != <= >= ||") == ["<>", "!=", "<=", ">=", "||"]
+
+    def test_single_char_operators(self):
+        assert texts("= < > + - * / %") == list("=<>+-*/%")
+
+    def test_punctuation(self):
+        assert kinds("( ) , . ;") == [TokenType.PUNCTUATION] * 5
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("a @ b")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert texts("a -- comment\n b") == ["a", "b"]
+
+    def test_line_comment_at_eof(self):
+        assert texts("a -- no newline") == ["a"]
+
+    def test_block_comment(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("a /* oops")
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("select\n  x")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+    def test_error_carries_position(self):
+        with pytest.raises(SqlSyntaxError) as excinfo:
+            tokenize("a\n@")
+        assert "line 2" in str(excinfo.value)

@@ -1,0 +1,128 @@
+"""Middleware-baseline tests: result equivalence with the native path and
+the per-statement overhead the paper's §II argues about."""
+
+import pytest
+
+from repro import Database
+from repro.datasets import dblp_like, fresh_database, generate_edges
+from repro.errors import PlanError
+from repro.middleware import MiddlewareDriver
+from repro.workloads import ff_query, pagerank_query, sssp_query
+
+SPEC = dblp_like(nodes=120, seed=9)
+
+
+@pytest.fixture
+def native_db():
+    return fresh_database(SPEC)
+
+
+@pytest.fixture
+def middleware_db():
+    return fresh_database(SPEC)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("sql_builder", [
+        lambda: pagerank_query(iterations=4),
+        lambda: sssp_query(source=1, iterations=5),
+        lambda: ff_query(iterations=3, selectivity_mod=10,
+                         order_and_limit=False),
+    ], ids=["pr", "sssp", "ff"])
+    def test_same_results_as_native(self, sql_builder, native_db,
+                                    middleware_db):
+        sql = sql_builder()
+        native = sorted(native_db.execute(sql).rows())
+        driver = MiddlewareDriver(middleware_db)
+        external = sorted(driver.run(sql).rows())
+        assert len(native) == len(external)
+        for native_row, external_row in zip(native, external):
+            assert native_row == pytest.approx(external_row)
+
+    def test_data_termination_equivalence(self, native_db, middleware_db):
+        sql = """
+        WITH ITERATIVE r (k, v) AS (
+          SELECT 1, 1 ITERATE SELECT k, v * 2 FROM r UNTIL v > 500
+        ) SELECT v FROM r"""
+        assert native_db.execute(sql).scalar() \
+            == MiddlewareDriver(middleware_db).run(sql).scalar()
+
+    def test_delta_termination_equivalence(self, native_db, middleware_db):
+        sql = """
+        WITH ITERATIVE r (k, v) AS (
+          SELECT 1, 64 ITERATE
+          SELECT k, CASE WHEN v > 1 THEN v / 2 ELSE v END FROM r
+          UNTIL DELTA = 0
+        ) SELECT v FROM r"""
+        assert native_db.execute(sql).scalar() \
+            == MiddlewareDriver(middleware_db).run(sql).scalar()
+
+
+class TestOverheadAccounting:
+    def test_statement_explosion(self, middleware_db):
+        """§II: middleware turns one query into dozens of statements."""
+        driver = MiddlewareDriver(middleware_db)
+        driver.run(pagerank_query(iterations=10))
+        report = driver.report
+        # 1 probe + 2 CREATE + 1 initial INSERT + 10 * (DELETE + INSERT +
+        # UPDATE) + final + 2 DROP = 37.
+        assert report.statements_issued == 37
+        assert report.ddl_statements == 4
+        assert report.dml_statements == 31  # initial + 10x(DEL/INS/UPD)
+        assert report.probe_queries == 2    # schema probe + final query
+
+    def test_workload_manager_sees_many_units(self, middleware_db):
+        middleware_db.reset_stats()
+        driver = MiddlewareDriver(middleware_db)
+        driver.run(pagerank_query(iterations=5))
+        assert middleware_db.workload.units_admitted > 15
+
+    def test_native_is_one_scheduling_unit(self, native_db):
+        native_db.reset_stats()
+        native_db.execute(pagerank_query(iterations=5))
+        assert native_db.workload.units_admitted == 1
+
+    def test_middleware_acquires_many_locks(self, middleware_db,
+                                            native_db):
+        driver = MiddlewareDriver(middleware_db)
+        driver.run(pagerank_query(iterations=5))
+        native_db.execute(pagerank_query(iterations=5))
+        assert middleware_db.transactions.stats.locks_acquired > 10
+        assert native_db.transactions.stats.locks_acquired == 0
+
+    def test_temp_tables_cleaned_up(self, middleware_db):
+        driver = MiddlewareDriver(middleware_db)
+        driver.run(ff_query(iterations=2, selectivity_mod=10,
+                            order_and_limit=False))
+        leftovers = [name for name in middleware_db.catalog.table_names()
+                     if name.startswith("__mw_")]
+        assert leftovers == []
+
+    def test_cleanup_happens_on_failure(self, middleware_db):
+        driver = MiddlewareDriver(middleware_db)
+        bad = """
+        WITH ITERATIVE r (k, v) AS (
+          SELECT 1, 1 ITERATE SELECT k, no_such_column FROM r
+          UNTIL 2 ITERATIONS
+        ) SELECT v FROM r"""
+        with pytest.raises(Exception):
+            driver.run(bad)
+        leftovers = [name for name in middleware_db.catalog.table_names()
+                     if name.startswith("__mw_")]
+        assert leftovers == []
+
+
+class TestValidation:
+    def test_rejects_plain_query(self, middleware_db):
+        with pytest.raises(PlanError):
+            MiddlewareDriver(middleware_db).run("SELECT 1")
+
+    def test_rejects_multiple_iterative_ctes(self, middleware_db):
+        sql = """
+        WITH ITERATIVE a (x) AS (SELECT 1 ITERATE SELECT x FROM a
+                                 UNTIL 1 ITERATIONS),
+             ITERATIVE b (y) AS (SELECT 2 ITERATE SELECT y FROM b
+                                 UNTIL 1 ITERATIONS)
+        SELECT * FROM a, b"""
+        with pytest.raises(PlanError):
+            MiddlewareDriver(middleware_db).run(sql)

@@ -1,0 +1,382 @@
+"""Parser unit tests: statements, expressions, and the iterative grammar."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql import ast, parse, parse_script
+
+
+class TestSelectBasics:
+    def test_simple_select(self):
+        stmt = parse("SELECT a, b FROM t")
+        assert isinstance(stmt, ast.Select)
+        assert len(stmt.items) == 2
+        assert isinstance(stmt.from_clause, ast.TableRef)
+
+    def test_select_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expr, ast.Star)
+
+    def test_qualified_star(self):
+        stmt = parse("SELECT t.* FROM t")
+        assert isinstance(stmt.items[0].expr, ast.Star)
+        assert stmt.items[0].expr.table == "t"
+
+    def test_select_without_from(self):
+        stmt = parse("SELECT 1, 2")
+        assert stmt.from_clause is None
+
+    def test_aliases(self):
+        stmt = parse("SELECT a AS x, b y FROM t")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+
+    def test_where_group_having(self):
+        stmt = parse("SELECT a, SUM(b) FROM t WHERE c > 0 "
+                     "GROUP BY a HAVING SUM(b) > 10")
+        assert stmt.where is not None
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+
+    def test_order_limit_offset(self):
+        stmt = parse("SELECT a FROM t ORDER BY a DESC, b LIMIT 5 OFFSET 2")
+        assert stmt.order_by[0].ascending is False
+        assert stmt.order_by[1].ascending is True
+        assert stmt.limit == 5
+        assert stmt.offset == 2
+
+    def test_keyword_as_column_name(self):
+        # The paper's queries use columns named delta/rank/key.
+        stmt = parse("SELECT delta, rank, key FROM t")
+        names = [item.expr.name for item in stmt.items]
+        assert names == ["delta", "rank", "key"]
+
+
+class TestJoins:
+    def test_inner_join(self):
+        stmt = parse("SELECT * FROM a JOIN b ON a.x = b.x")
+        join = stmt.from_clause
+        assert isinstance(join, ast.Join)
+        assert join.kind is ast.JoinKind.INNER
+
+    def test_left_outer_join(self):
+        join = parse("SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.x"
+                     ).from_clause
+        assert join.kind is ast.JoinKind.LEFT
+
+    def test_right_and_full(self):
+        assert parse("SELECT * FROM a RIGHT JOIN b ON a.x=b.x"
+                     ).from_clause.kind is ast.JoinKind.RIGHT
+        assert parse("SELECT * FROM a FULL JOIN b ON a.x=b.x"
+                     ).from_clause.kind is ast.JoinKind.FULL
+
+    def test_cross_join_has_no_condition(self):
+        join = parse("SELECT * FROM a CROSS JOIN b").from_clause
+        assert join.kind is ast.JoinKind.CROSS
+        assert join.condition is None
+
+    def test_comma_join_is_cross(self):
+        join = parse("SELECT * FROM a, b").from_clause
+        assert join.kind is ast.JoinKind.CROSS
+
+    def test_chained_joins_are_left_deep(self):
+        join = parse("SELECT * FROM a JOIN b ON a.x=b.x "
+                     "LEFT JOIN c ON b.y=c.y").from_clause
+        assert join.kind is ast.JoinKind.LEFT
+        assert isinstance(join.left, ast.Join)
+        assert join.left.kind is ast.JoinKind.INNER
+
+    def test_derived_table_with_alias(self):
+        rel = parse("SELECT * FROM (SELECT a FROM t) AS s").from_clause
+        assert isinstance(rel, ast.SubqueryRef)
+        assert rel.alias == "s"
+
+    def test_derived_table_without_alias(self):
+        # Fig. 2 uses an unaliased derived table.
+        rel = parse("SELECT * FROM (SELECT a FROM t)").from_clause
+        assert isinstance(rel, ast.SubqueryRef)
+        assert rel.alias is None
+
+    def test_join_requires_on(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT * FROM a JOIN b")
+
+
+class TestExpressions:
+    def _expr(self, text):
+        return parse(f"SELECT {text}").items[0].expr
+
+    def test_precedence_mul_over_add(self):
+        expr = self._expr("1 + 2 * 3")
+        assert expr.op is ast.BinaryOperator.ADD
+        assert expr.right.op is ast.BinaryOperator.MUL
+
+    def test_precedence_and_over_or(self):
+        expr = self._expr("a OR b AND c")
+        assert expr.op is ast.BinaryOperator.OR
+        assert expr.right.op is ast.BinaryOperator.AND
+
+    def test_not_binds_tighter_than_and(self):
+        expr = self._expr("NOT a AND b")
+        assert expr.op is ast.BinaryOperator.AND
+        assert isinstance(expr.left, ast.UnaryOp)
+
+    def test_parentheses_override(self):
+        expr = self._expr("(1 + 2) * 3")
+        assert expr.op is ast.BinaryOperator.MUL
+
+    def test_unary_minus(self):
+        expr = self._expr("-x")
+        assert isinstance(expr, ast.UnaryOp)
+        assert expr.op is ast.UnaryOperator.NEG
+
+    def test_comparison_chain_is_rejected(self):
+        # a < b < c is not valid SQL.
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a < b < c FROM t")
+
+    def test_is_null_and_is_not_null(self):
+        assert self._expr("a IS NULL").negated is False
+        assert self._expr("a IS NOT NULL").negated is True
+
+    def test_in_list(self):
+        expr = self._expr("a IN (1, 2, 3)")
+        assert isinstance(expr, ast.InList)
+        assert len(expr.items) == 3
+
+    def test_not_in(self):
+        assert self._expr("a NOT IN (1)").negated
+
+    def test_between(self):
+        expr = self._expr("a BETWEEN 1 AND 10")
+        assert isinstance(expr, ast.Between)
+
+    def test_searched_case(self):
+        expr = self._expr("CASE WHEN a = 1 THEN 'x' ELSE 'y' END")
+        assert isinstance(expr, ast.Case)
+        assert expr.operand is None
+        assert expr.default is not None
+
+    def test_simple_case(self):
+        expr = self._expr("CASE a WHEN 1 THEN 'x' END")
+        assert expr.operand is not None
+
+    def test_case_requires_when(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT CASE ELSE 1 END")
+
+    def test_cast(self):
+        expr = self._expr("CAST(a AS numeric)")
+        assert isinstance(expr, ast.Cast)
+        assert expr.type_name == "numeric"
+
+    def test_cast_with_precision(self):
+        expr = self._expr("CAST(a AS numeric(10, 2))")
+        assert isinstance(expr, ast.Cast)
+
+    def test_function_call_names_lowercase(self):
+        expr = self._expr("CEILING(x)")
+        assert expr.name == "ceiling"
+
+    def test_count_star(self):
+        expr = self._expr("COUNT(*)")
+        assert isinstance(expr.args[0], ast.Star)
+
+    def test_count_distinct(self):
+        assert self._expr("COUNT(DISTINCT a)").distinct
+
+    def test_string_concat(self):
+        expr = self._expr("'a' || 'b'")
+        assert expr.op is ast.BinaryOperator.CONCAT
+
+    def test_modulo_operator(self):
+        expr = self._expr("src % 10")
+        assert expr.op is ast.BinaryOperator.MOD
+
+    def test_like(self):
+        expr = self._expr("a LIKE 'x%'")
+        assert expr.op is ast.BinaryOperator.LIKE
+
+    def test_literals(self):
+        assert self._expr("NULL").value is None
+        assert self._expr("TRUE").value is True
+        assert self._expr("FALSE").value is False
+        assert self._expr("1.5").value == 1.5
+
+
+class TestSetOperations:
+    def test_union(self):
+        stmt = parse("SELECT a FROM t UNION SELECT b FROM u")
+        assert isinstance(stmt, ast.SetOp)
+        assert stmt.kind is ast.SetOpKind.UNION
+
+    def test_union_all(self):
+        stmt = parse("SELECT a FROM t UNION ALL SELECT b FROM u")
+        assert stmt.kind is ast.SetOpKind.UNION_ALL
+
+    def test_union_chain(self):
+        stmt = parse("SELECT 1 UNION SELECT 2 UNION SELECT 3")
+        assert isinstance(stmt.left, ast.SetOp)
+
+    def test_union_with_order_by(self):
+        stmt = parse("SELECT a FROM t UNION SELECT b FROM u ORDER BY 1")
+        assert stmt.order_by
+
+
+class TestCtes:
+    def test_regular_cte(self):
+        stmt = parse("WITH x AS (SELECT 1) SELECT * FROM x")
+        (cte,) = stmt.with_clause.ctes
+        assert isinstance(cte, ast.CommonTableExpr)
+        assert not cte.recursive
+
+    def test_recursive_cte(self):
+        stmt = parse("WITH RECURSIVE x (n) AS "
+                     "(SELECT 1 UNION SELECT n + 1 FROM x) "
+                     "SELECT * FROM x")
+        (cte,) = stmt.with_clause.ctes
+        assert cte.recursive
+        assert cte.columns == ["n"]
+
+    def test_multiple_ctes(self):
+        stmt = parse("WITH a AS (SELECT 1), b AS (SELECT 2) "
+                     "SELECT * FROM a, b")
+        assert len(stmt.with_clause.ctes) == 2
+
+    def test_iterative_cte(self):
+        stmt = parse(
+            "WITH ITERATIVE r (x) AS (SELECT 1 ITERATE "
+            "SELECT x + 1 FROM r UNTIL 10 ITERATIONS) SELECT * FROM r")
+        (cte,) = stmt.with_clause.ctes
+        assert isinstance(cte, ast.IterativeCte)
+        assert cte.columns == ["x"]
+        assert cte.termination.kind is ast.TerminationKind.ITERATIONS
+        assert cte.termination.count == 10
+
+
+class TestTerminationGrammar:
+    def _termination(self, until):
+        stmt = parse(
+            f"WITH ITERATIVE r (x) AS (SELECT 1 ITERATE "
+            f"SELECT x + 1 FROM r UNTIL {until}) SELECT * FROM r")
+        return stmt.with_clause.ctes[0].termination
+
+    def test_iterations(self):
+        t = self._termination("25 ITERATIONS")
+        assert t.kind is ast.TerminationKind.ITERATIONS
+        assert t.count == 25
+        assert t.kind.family == "Metadata"
+
+    def test_updates(self):
+        t = self._termination("100 UPDATES")
+        assert t.kind is ast.TerminationKind.UPDATES
+        assert t.kind.family == "Metadata"
+
+    def test_delta(self):
+        t = self._termination("DELTA = 0")
+        assert t.kind is ast.TerminationKind.DELTA
+        assert t.comparator == "="
+        assert t.count == 0
+        assert t.kind.family == "Delta"
+
+    def test_delta_less_than(self):
+        t = self._termination("DELTA < 5")
+        assert t.comparator == "<"
+
+    def test_data_any_implicit(self):
+        t = self._termination("x > 100")
+        assert t.kind is ast.TerminationKind.DATA_ANY
+        assert t.kind.family == "Data"
+
+    def test_data_any_explicit(self):
+        t = self._termination("ANY x > 100")
+        assert t.kind is ast.TerminationKind.DATA_ANY
+
+    def test_data_all(self):
+        t = self._termination("ALL x > 100")
+        assert t.kind is ast.TerminationKind.DATA_ALL
+
+    def test_data_condition_on_column_named_delta(self):
+        # "delta" as a column in a data condition, not the DELTA keyword.
+        t = self._termination("delta > 0.5")
+        assert t.kind is ast.TerminationKind.DATA_ANY
+
+    def test_number_without_unit_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            self._termination("10")
+
+
+class TestDdlDml:
+    def test_create_table(self):
+        stmt = parse("CREATE TABLE t (a int, b float, c text)")
+        assert isinstance(stmt, ast.CreateTable)
+        assert [c.name for c in stmt.columns] == ["a", "b", "c"]
+
+    def test_create_table_primary_key_inline(self):
+        stmt = parse("CREATE TABLE t (a int PRIMARY KEY, b float)")
+        assert stmt.columns[0].primary_key
+
+    def test_create_table_primary_key_clause(self):
+        stmt = parse("CREATE TABLE t (a int, b float, PRIMARY KEY (b))")
+        assert stmt.columns[1].primary_key
+
+    def test_create_temporary_if_not_exists(self):
+        stmt = parse("CREATE TEMP TABLE IF NOT EXISTS t (a int)")
+        assert stmt.temporary
+        assert stmt.if_not_exists
+
+    def test_drop_table(self):
+        stmt = parse("DROP TABLE IF EXISTS t")
+        assert isinstance(stmt, ast.DropTable)
+        assert stmt.if_exists
+
+    def test_insert_values(self):
+        stmt = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert stmt.columns == ["a", "b"]
+        assert len(stmt.source) == 2
+
+    def test_insert_select(self):
+        stmt = parse("INSERT INTO t SELECT a FROM u")
+        assert isinstance(stmt.source, ast.Select)
+
+    def test_update(self):
+        stmt = parse("UPDATE t SET a = 1, b = b + 1 WHERE c = 2")
+        assert len(stmt.assignments) == 2
+        assert stmt.where is not None
+
+    def test_update_from(self):
+        stmt = parse("UPDATE t SET a = u.a FROM u WHERE t.id = u.id")
+        assert stmt.from_clause is not None
+
+    def test_delete(self):
+        stmt = parse("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, ast.Delete)
+
+    def test_transactions(self):
+        assert isinstance(parse("BEGIN"), ast.BeginTransaction)
+        assert isinstance(parse("COMMIT"), ast.CommitTransaction)
+        assert isinstance(parse("ROLLBACK"), ast.RollbackTransaction)
+
+    def test_explain(self):
+        stmt = parse("EXPLAIN SELECT 1")
+        assert isinstance(stmt, ast.Explain)
+
+
+class TestScripts:
+    def test_parse_script(self):
+        stmts = parse_script("SELECT 1; SELECT 2; SELECT 3;")
+        assert len(stmts) == 3
+
+    def test_empty_statements_skipped(self):
+        assert len(parse_script(";;SELECT 1;;")) == 1
+
+    def test_missing_semicolon_between_statements(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_script("SELECT 1 SELECT 2")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT 1 garbage junk")

@@ -1,0 +1,146 @@
+"""SQL printer tests: parse → print → parse must be a fixed point
+(structural round-trip), for hand-written and generated statements."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql import ast, parse, statement_to_sql
+from repro.workloads import (
+    components_query,
+    ff_query,
+    pagerank_query,
+    sssp_query,
+)
+
+
+def roundtrip(sql: str) -> None:
+    """print(parse(x)) must parse to the same rendering again."""
+    first = statement_to_sql(parse(sql))
+    second = statement_to_sql(parse(first))
+    assert first == second
+
+
+CORPUS = [
+    "SELECT 1",
+    "SELECT a, b AS c FROM t",
+    "SELECT DISTINCT a FROM t WHERE b > 1 AND c IS NOT NULL",
+    "SELECT * FROM t ORDER BY a DESC, b LIMIT 3 OFFSET 1",
+    "SELECT t.a, u.b FROM t JOIN u ON t.x = u.x",
+    "SELECT * FROM t LEFT JOIN u ON t.x = u.x AND u.y > 0",
+    "SELECT * FROM a CROSS JOIN b",
+    "SELECT a FROM (SELECT a FROM t) AS s",
+    "SELECT a FROM t UNION SELECT b FROM u",
+    "SELECT a FROM t UNION ALL SELECT b FROM u",
+    "SELECT a FROM t EXCEPT SELECT b FROM u",
+    "SELECT a FROM t INTERSECT SELECT b FROM u",
+    "SELECT CASE WHEN a = 1 THEN 'x' ELSE 'y' END FROM t",
+    "SELECT CASE a WHEN 1 THEN 2 END FROM t",
+    "SELECT CAST(a AS float), COALESCE(b, 0) FROM t",
+    "SELECT COUNT(*), COUNT(DISTINCT a), SUM(b) FROM t GROUP BY c "
+    "HAVING COUNT(*) > 1",
+    "SELECT a FROM t WHERE a IN (1, 2, 3)",
+    "SELECT a FROM t WHERE a NOT BETWEEN 1 AND 5",
+    "SELECT a FROM t WHERE s LIKE 'x%'",
+    "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.x = t.a)",
+    "SELECT a FROM t WHERE a NOT IN (SELECT x FROM u)",
+    "SELECT 'it''s', -1.5, 1e3 FROM t",
+    "WITH x AS (SELECT 1) SELECT * FROM x",
+    "WITH RECURSIVE r (n) AS (SELECT 1 UNION SELECT n + 1 FROM r) "
+    "SELECT * FROM r",
+    "WITH ITERATIVE r (x) AS (SELECT 1 ITERATE SELECT x + 1 FROM r "
+    "UNTIL 10 ITERATIONS) SELECT * FROM r",
+    "WITH ITERATIVE r (x) AS (SELECT 1 ITERATE SELECT x FROM r "
+    "UNTIL DELTA = 0) SELECT * FROM r",
+    "WITH ITERATIVE r (x) AS (SELECT 1 ITERATE SELECT x FROM r "
+    "UNTIL ALL x > 5) SELECT * FROM r",
+    "CREATE TABLE t (a int PRIMARY KEY, b float)",
+    "CREATE TEMPORARY TABLE IF NOT EXISTS t (a int)",
+    "DROP TABLE IF EXISTS t",
+    "INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)",
+    "INSERT INTO t SELECT a FROM u",
+    "UPDATE t SET a = 1, b = b + 1 FROM u WHERE t.id = u.id",
+    "DELETE FROM t WHERE a = 1",
+    "EXPLAIN SELECT 1",
+    "ANALYZE",
+    "ANALYZE edges",
+    "BEGIN", "COMMIT", "ROLLBACK",
+]
+
+
+@pytest.mark.parametrize("sql", CORPUS, ids=range(len(CORPUS)))
+def test_roundtrip_corpus(sql):
+    roundtrip(sql)
+
+
+def test_paper_queries_roundtrip():
+    for sql in [pagerank_query(iterations=10),
+                pagerank_query(iterations=25, with_vertex_status=True),
+                sssp_query(source=1, iterations=10),
+                ff_query(iterations=5, selectivity_mod=100),
+                components_query()]:
+        roundtrip(sql)
+
+
+# -- generated expressions --------------------------------------------------
+
+names = st.sampled_from(["a", "b", "c"])
+# Non-negative numeric literals: a negative literal prints as "-1",
+# which necessarily reparses as unary-minus-of-1 (a normalization, not a
+# bug); negation itself is exercised through the UnaryOp strategy.
+literals = st.one_of(
+    st.integers(0, 999).map(ast.Literal),
+    st.floats(0, 100, allow_nan=False).map(ast.Literal),
+    st.sampled_from([None, True, False]).map(ast.Literal),
+    st.text(alphabet="xy'z ", max_size=6).map(ast.Literal),
+)
+
+
+def exprs(depth: int = 2):
+    leaf = st.one_of(literals, names.map(ast.ColumnRef))
+    if depth == 0:
+        return leaf
+    sub = exprs(depth - 1)
+    return st.one_of(
+        leaf,
+        st.builds(ast.BinaryOp,
+                  st.sampled_from([ast.BinaryOperator.ADD,
+                                   ast.BinaryOperator.MUL,
+                                   ast.BinaryOperator.EQ,
+                                   ast.BinaryOperator.LT,
+                                   ast.BinaryOperator.AND,
+                                   ast.BinaryOperator.OR]),
+                  sub, sub),
+        st.builds(ast.UnaryOp,
+                  st.sampled_from([ast.UnaryOperator.NOT,
+                                   ast.UnaryOperator.NEG]),
+                  sub),
+        st.builds(ast.IsNull, sub, st.booleans()),
+        st.builds(lambda op, items: ast.InList(op, tuple(items)),
+                  sub, st.lists(literals, min_size=1, max_size=3)),
+        st.builds(lambda w, d: ast.Case(whens=(w,), default=d),
+                  st.tuples(sub, sub), sub),
+        st.builds(lambda args: ast.FunctionCall("coalesce", tuple(args)),
+                  st.lists(sub, min_size=1, max_size=3)),
+    )
+
+
+class TestGeneratedRoundtrip:
+    @given(exprs())
+    @settings(max_examples=150)
+    def test_expression_roundtrip(self, expr):
+        from repro.sql.printer import expr_to_sql
+        sql = f"SELECT {expr_to_sql(expr)} FROM t"
+        reparsed = parse(sql)
+        assert statement_to_sql(reparsed) == statement_to_sql(parse(
+            statement_to_sql(reparsed)))
+
+    @given(exprs(depth=1))
+    @settings(max_examples=80)
+    def test_expression_structure_preserved(self, expr):
+        """Printing then parsing yields a structurally equal expression
+        (modulo float repr round-trip, which Python guarantees exact)."""
+        from repro.sql.printer import expr_to_sql
+        printed = expr_to_sql(expr)
+        reparsed = parse(f"SELECT {printed}").items[0].expr
+        assert expr_to_sql(reparsed) == printed

@@ -1,0 +1,166 @@
+"""Recursive-CTE tests: fixed-point semantics and the ANSI restrictions
+that motivate the paper (aggregates forbidden, append-only results)."""
+
+import pytest
+
+from repro import Database
+from repro.errors import IterationLimitError, RecursionNotSupportedError
+
+
+@pytest.fixture
+def chain_db(db):
+    db.execute("CREATE TABLE edge (a int, b int)")
+    db.load_rows("edge", [(1, 2), (2, 3), (3, 4)])
+    return db
+
+
+class TestFixedPoint:
+    def test_counting(self, db):
+        sql = """
+        WITH RECURSIVE n (x) AS (
+          SELECT 1 UNION SELECT x + 1 FROM n WHERE x < 5
+        ) SELECT x FROM n ORDER BY x"""
+        assert db.execute(sql).rows() == [(1,), (2,), (3,), (4,), (5,)]
+
+    def test_transitive_closure(self, chain_db):
+        sql = """
+        WITH RECURSIVE reach (a, b) AS (
+          SELECT a, b FROM edge
+          UNION
+          SELECT reach.a, edge.b FROM reach JOIN edge ON reach.b = edge.a
+        ) SELECT a, b FROM reach ORDER BY a, b"""
+        assert chain_db.execute(sql).rows() == [
+            (1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)]
+
+    def test_union_dedup_terminates_on_cycles(self, db):
+        db.execute("CREATE TABLE edge (a int, b int)")
+        db.load_rows("edge", [(1, 2), (2, 1)])  # a 2-cycle
+        sql = """
+        WITH RECURSIVE reach (a, b) AS (
+          SELECT a, b FROM edge
+          UNION
+          SELECT reach.a, edge.b FROM reach JOIN edge ON reach.b = edge.a
+        ) SELECT COUNT(*) FROM reach"""
+        assert db.execute(sql).scalar() == 4  # (1,2),(2,1),(1,1),(2,2)
+
+    def test_union_all_on_cycle_hits_safety_cap(self, db):
+        db.execute("CREATE TABLE edge (a int, b int)")
+        db.load_rows("edge", [(1, 2), (2, 1)])
+        db.set_option("max_iterations", 20)
+        sql = """
+        WITH RECURSIVE reach (a, b) AS (
+          SELECT a, b FROM edge
+          UNION ALL
+          SELECT reach.a, edge.b FROM reach JOIN edge ON reach.b = edge.a
+        ) SELECT COUNT(*) FROM reach"""
+        with pytest.raises(IterationLimitError):
+            db.execute(sql)
+
+    def test_union_all_multiplies_paths(self, db):
+        db.execute("CREATE TABLE edge (a int, b int)")
+        # Two parallel paths 1->2 and then 2->3.
+        db.load_rows("edge", [(1, 2), (1, 2), (2, 3)])
+        sql = """
+        WITH RECURSIVE reach (a, b) AS (
+          SELECT a, b FROM edge
+          UNION ALL
+          SELECT reach.a, edge.b FROM reach JOIN edge ON reach.b = edge.a
+        ) SELECT COUNT(*) FROM reach"""
+        # base: 3 rows; round 1: (1,3) twice via dup edges, (1,3)... etc.
+        assert db.execute(sql).scalar() == 5
+
+    def test_empty_base_returns_empty(self, db):
+        db.execute("CREATE TABLE edge (a int, b int)")
+        sql = """
+        WITH RECURSIVE reach (a, b) AS (
+          SELECT a, b FROM edge
+          UNION
+          SELECT reach.a, edge.b FROM reach JOIN edge ON reach.b = edge.a
+        ) SELECT COUNT(*) FROM reach"""
+        assert db.execute(sql).scalar() == 0
+
+    def test_final_query_can_aggregate(self, chain_db):
+        # Aggregation over the finished CTE is fine; only the recursive
+        # arm is restricted.
+        sql = """
+        WITH RECURSIVE reach (a, b) AS (
+          SELECT a, b FROM edge
+          UNION
+          SELECT reach.a, edge.b FROM reach JOIN edge ON reach.b = edge.a
+        ) SELECT a, COUNT(*) FROM reach GROUP BY a ORDER BY a"""
+        assert chain_db.execute(sql).rows() == [(1, 3), (2, 2), (3, 1)]
+
+
+class TestAnsiRestrictions:
+    """The limitations that make recursive CTEs unable to express PR
+    (paper §I-II) — each must be rejected with a clear error."""
+
+    def test_aggregate_in_recursive_arm_rejected(self, db):
+        sql = """
+        WITH RECURSIVE r (x) AS (
+          SELECT 1 UNION SELECT SUM(x) FROM r
+        ) SELECT * FROM r"""
+        with pytest.raises(RecursionNotSupportedError) as excinfo:
+            db.execute(sql)
+        assert "ITERATIVE" in str(excinfo.value)  # points at the fix
+
+    def test_group_by_in_recursive_arm_rejected(self, db):
+        sql = """
+        WITH RECURSIVE r (x) AS (
+          SELECT 1 UNION SELECT x FROM r GROUP BY x
+        ) SELECT * FROM r"""
+        with pytest.raises(RecursionNotSupportedError):
+            db.execute(sql)
+
+    def test_distinct_in_recursive_arm_rejected(self, db):
+        sql = """
+        WITH RECURSIVE r (x) AS (
+          SELECT 1 UNION SELECT DISTINCT x FROM r
+        ) SELECT * FROM r"""
+        with pytest.raises(RecursionNotSupportedError):
+            db.execute(sql)
+
+    def test_limit_in_recursive_arm_rejected(self, db):
+        sql = """
+        WITH RECURSIVE r (x) AS (
+          SELECT 1 UNION (SELECT x + 1 FROM r LIMIT 1)
+        ) SELECT * FROM r"""
+        with pytest.raises(RecursionNotSupportedError):
+            db.execute(sql)
+
+    def test_body_must_be_union(self, db):
+        sql = """
+        WITH RECURSIVE r (x) AS (
+          SELECT x + 1 FROM r
+        ) SELECT * FROM r"""
+        with pytest.raises(RecursionNotSupportedError):
+            db.execute(sql)
+
+    def test_base_arm_must_not_reference_cte(self, db):
+        sql = """
+        WITH RECURSIVE r (x) AS (
+          SELECT x FROM r UNION SELECT 1
+        ) SELECT * FROM r"""
+        with pytest.raises(RecursionNotSupportedError):
+            db.execute(sql)
+
+    def test_second_arm_must_reference_cte(self, db):
+        sql = """
+        WITH RECURSIVE r (x) AS (
+          SELECT 1 UNION SELECT 2
+        ) SELECT * FROM r"""
+        with pytest.raises(RecursionNotSupportedError):
+            db.execute(sql)
+
+    def test_pagerank_is_inexpressible_recursively(self, graph_db):
+        """The paper's headline motivation, as an executable fact."""
+        sql = """
+        WITH RECURSIVE pr (node, rank) AS (
+          SELECT src, 1.0 FROM edges
+          UNION
+          SELECT e.dst, SUM(pr.rank * e.weight)
+          FROM pr JOIN edges e ON pr.node = e.src
+          GROUP BY e.dst
+        ) SELECT * FROM pr"""
+        with pytest.raises(RecursionNotSupportedError):
+            graph_db.execute(sql)

@@ -1,0 +1,236 @@
+"""Subquery predicates (EXISTS / IN) and set operations
+(EXCEPT / INTERSECT): decorrelation into semi/anti joins, SQL NULL
+semantics, and planner restrictions."""
+
+import pytest
+
+from repro import Database
+from repro.errors import PlanError
+from repro.plan import LogicalSemiJoin, PlanContext, build_statement
+from repro.sql import parse
+
+
+@pytest.fixture
+def orders_db(db):
+    db.execute("CREATE TABLE customers (id int, name text, city text)")
+    db.execute("CREATE TABLE orders (id int, customer_id int, total float)")
+    db.load_rows("customers", [
+        (1, "ada", "london"), (2, "grace", "ny"),
+        (3, "alan", "london"), (4, "edsger", None),
+    ])
+    db.load_rows("orders", [
+        (10, 1, 100.0), (11, 1, 50.0), (12, 3, 75.0), (13, None, 20.0),
+    ])
+    return db
+
+
+class TestExists:
+    def test_correlated_exists(self, orders_db):
+        rows = orders_db.execute("""
+            SELECT name FROM customers
+            WHERE EXISTS (SELECT 1 FROM orders
+                          WHERE orders.customer_id = customers.id)
+            ORDER BY name""").rows()
+        assert rows == [("ada",), ("alan",)]
+
+    def test_correlated_not_exists(self, orders_db):
+        rows = orders_db.execute("""
+            SELECT name FROM customers
+            WHERE NOT EXISTS (SELECT 1 FROM orders
+                              WHERE orders.customer_id = customers.id)
+            ORDER BY name""").rows()
+        assert rows == [("edsger",), ("grace",)]
+
+    def test_exists_with_local_filter(self, orders_db):
+        rows = orders_db.execute("""
+            SELECT name FROM customers
+            WHERE EXISTS (SELECT 1 FROM orders
+                          WHERE orders.customer_id = customers.id
+                            AND orders.total > 80)""").rows()
+        assert rows == [("ada",)]
+
+    def test_uncorrelated_exists_true(self, orders_db):
+        rows = orders_db.execute("""
+            SELECT COUNT(*) FROM customers
+            WHERE EXISTS (SELECT 1 FROM orders)""").scalar()
+        assert rows == 4
+
+    def test_uncorrelated_exists_false(self, orders_db):
+        rows = orders_db.execute("""
+            SELECT COUNT(*) FROM customers
+            WHERE EXISTS (SELECT 1 FROM orders WHERE total > 9999)
+        """).scalar()
+        assert rows == 0
+
+    def test_uncorrelated_not_exists(self, orders_db):
+        rows = orders_db.execute("""
+            SELECT COUNT(*) FROM customers
+            WHERE NOT EXISTS (SELECT 1 FROM orders WHERE total > 9999)
+        """).scalar()
+        assert rows == 4
+
+    def test_exists_with_aggregated_subquery(self, orders_db):
+        # Aggregated subqueries are supported in uncorrelated form.
+        rows = orders_db.execute("""
+            SELECT COUNT(*) FROM customers
+            WHERE EXISTS (SELECT customer_id FROM orders
+                          GROUP BY customer_id HAVING COUNT(*) > 1)
+        """).scalar()
+        assert rows == 4
+
+    def test_exists_combined_with_plain_predicates(self, orders_db):
+        rows = orders_db.execute("""
+            SELECT name FROM customers
+            WHERE city = 'london'
+              AND EXISTS (SELECT 1 FROM orders
+                          WHERE orders.customer_id = customers.id)
+              AND id < 3""").rows()
+        assert rows == [("ada",)]
+
+    def test_plans_as_semi_join(self, orders_db):
+        plan = build_statement(parse("""
+            SELECT name FROM customers
+            WHERE EXISTS (SELECT 1 FROM orders
+                          WHERE orders.customer_id = customers.id)"""),
+            PlanContext(orders_db.catalog))
+        semis = [n for n in plan.walk() if isinstance(n, LogicalSemiJoin)]
+        assert len(semis) == 1
+        assert not semis[0].anti
+
+    def test_nested_subquery_predicate_rejected(self, orders_db):
+        with pytest.raises(PlanError):
+            orders_db.execute("""
+                SELECT name FROM customers
+                WHERE id = 1 OR EXISTS (SELECT 1 FROM orders)""")
+
+
+class TestInSubquery:
+    def test_in(self, orders_db):
+        rows = orders_db.execute("""
+            SELECT name FROM customers
+            WHERE id IN (SELECT customer_id FROM orders)
+            ORDER BY name""").rows()
+        assert rows == [("ada",), ("alan",)]
+
+    def test_not_in_with_null_in_subquery_is_empty(self, orders_db):
+        # orders.customer_id contains NULL: NOT IN returns nothing.
+        rows = orders_db.execute("""
+            SELECT name FROM customers
+            WHERE id NOT IN (SELECT customer_id FROM orders)""").rows()
+        assert rows == []
+
+    def test_not_in_without_nulls(self, orders_db):
+        rows = orders_db.execute("""
+            SELECT name FROM customers
+            WHERE id NOT IN (SELECT customer_id FROM orders
+                             WHERE customer_id IS NOT NULL)
+            ORDER BY name""").rows()
+        assert rows == [("edsger",), ("grace",)]
+
+    def test_null_probe_never_qualifies_for_not_in(self, db):
+        db.execute("CREATE TABLE t (a int)")
+        db.execute("CREATE TABLE u (x int)")
+        db.load_rows("t", [(None,), (1,)])
+        db.load_rows("u", [(2,)])
+        rows = db.execute(
+            "SELECT a FROM t WHERE a NOT IN (SELECT x FROM u)").rows()
+        assert rows == [(1,)]  # the NULL row is UNKNOWN, not kept
+
+    def test_in_with_expression_operand(self, orders_db):
+        rows = orders_db.execute("""
+            SELECT name FROM customers
+            WHERE id + 0 IN (SELECT customer_id FROM orders)
+            ORDER BY name""").rows()
+        assert rows == [("ada",), ("alan",)]
+
+    def test_correlated_in(self, orders_db):
+        rows = orders_db.execute("""
+            SELECT name FROM customers
+            WHERE id IN (SELECT customer_id FROM orders
+                         WHERE orders.total > customers.id * 30)
+            ORDER BY name""").rows()
+        # ada (id 1): orders > 30 exist (100, 50); alan (id 3): needs > 90.
+        assert rows == [("ada",)]
+
+    def test_in_aggregated_subquery(self, orders_db):
+        rows = orders_db.execute("""
+            SELECT name FROM customers
+            WHERE id IN (SELECT customer_id FROM orders
+                         GROUP BY customer_id HAVING COUNT(*) > 1)
+        """).rows()
+        assert rows == [("ada",)]
+
+    def test_in_requires_single_column(self, orders_db):
+        with pytest.raises(PlanError):
+            orders_db.execute("""
+                SELECT name FROM customers
+                WHERE id IN (SELECT id, customer_id FROM orders)""")
+
+    def test_matches_in_list_semantics(self, orders_db):
+        via_subquery = orders_db.execute("""
+            SELECT name FROM customers
+            WHERE id IN (SELECT customer_id FROM orders
+                         WHERE customer_id IS NOT NULL)
+            ORDER BY name""").rows()
+        via_list = orders_db.execute("""
+            SELECT name FROM customers WHERE id IN (1, 3)
+            ORDER BY name""").rows()
+        assert via_subquery == via_list
+
+
+class TestExceptIntersect:
+    def test_except(self, graph_db):
+        rows = graph_db.execute("""
+            SELECT src FROM edges EXCEPT SELECT dst FROM edges""").rows()
+        assert rows == [(4,)]  # node 4 has no incoming edge
+
+    def test_intersect(self, graph_db):
+        rows = sorted(graph_db.execute("""
+            SELECT src FROM edges INTERSECT SELECT dst FROM edges""").rows())
+        assert rows == [(1,), (2,), (3,)]
+
+    def test_results_are_distinct(self, db):
+        db.execute("CREATE TABLE t (a int)")
+        db.load_rows("t", [(1,), (1,), (2,)])
+        db.execute("CREATE TABLE u (a int)")
+        db.load_rows("u", [(2,)])
+        assert db.execute("SELECT a FROM t EXCEPT SELECT a FROM u"
+                          ).rows() == [(1,)]
+        assert db.execute("SELECT a FROM t INTERSECT SELECT a FROM u"
+                          ).rows() == [(2,)]
+
+    def test_null_is_one_value(self, db):
+        db.execute("CREATE TABLE t (a int)")
+        db.load_rows("t", [(None,), (1,)])
+        db.execute("CREATE TABLE u (a int)")
+        db.load_rows("u", [(None,)])
+        assert db.execute("SELECT a FROM t INTERSECT SELECT a FROM u"
+                          ).rows() == [(None,)]
+        assert db.execute("SELECT a FROM t EXCEPT SELECT a FROM u"
+                          ).rows() == [(1,)]
+
+    def test_intersect_binds_tighter_than_except(self, db):
+        # a EXCEPT b INTERSECT c  ==  a EXCEPT (b INTERSECT c)
+        rows = db.execute("""
+            SELECT 1 EXCEPT SELECT 1 INTERSECT SELECT 2""").rows()
+        assert rows == [(1,)]
+
+    def test_type_widening(self, db):
+        rows = db.execute("SELECT 1 INTERSECT SELECT 1.0").rows()
+        assert rows == [(1.0,)]
+
+    def test_arity_mismatch(self, db):
+        with pytest.raises(PlanError):
+            db.execute("SELECT 1 EXCEPT SELECT 1, 2")
+
+    def test_in_iterative_cte_body(self, graph_db):
+        """Set difference inside an iterative CTE's parts works."""
+        sql = """
+        WITH ITERATIVE frontier (node, gen) AS (
+          SELECT src, 0 FROM edges WHERE src = 1
+          ITERATE SELECT node, gen + 1 FROM frontier
+          UNTIL 2 ITERATIONS
+        )
+        SELECT node FROM frontier
+        INTERSECT SELECT dst FROM edges"""
+        assert graph_db.execute(sql).rows() == [(1,)]

@@ -1,0 +1,163 @@
+"""Type system tests: coercion lattice and three-valued scalar logic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TypeCheckError
+from repro.types import (
+    SqlType,
+    can_cast,
+    coerce_scalar,
+    common_type,
+    python_to_sql_type,
+    sql_and,
+    sql_compare,
+    sql_equal,
+    sql_not,
+    sql_or,
+    type_from_name,
+)
+
+
+class TestTypeNames:
+    @pytest.mark.parametrize("name,expected", [
+        ("int", SqlType.INTEGER),
+        ("INTEGER", SqlType.INTEGER),
+        ("bigint", SqlType.INTEGER),
+        ("float", SqlType.FLOAT),
+        ("double", SqlType.FLOAT),
+        ("numeric", SqlType.NUMERIC),
+        ("decimal", SqlType.NUMERIC),
+        ("bool", SqlType.BOOLEAN),
+        ("varchar", SqlType.TEXT),
+        ("TEXT", SqlType.TEXT),
+    ])
+    def test_known_names(self, name, expected):
+        assert type_from_name(name) is expected
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(TypeCheckError):
+            type_from_name("blob")
+
+
+class TestCommonType:
+    def test_same_type(self):
+        assert common_type(SqlType.INTEGER, SqlType.INTEGER) \
+            is SqlType.INTEGER
+
+    def test_null_unifies_with_anything(self):
+        for t in SqlType:
+            assert common_type(SqlType.NULL, t) is t
+            assert common_type(t, SqlType.NULL) is t
+
+    def test_int_widens_to_float(self):
+        assert common_type(SqlType.INTEGER, SqlType.FLOAT) is SqlType.FLOAT
+
+    def test_numeric_and_float(self):
+        assert common_type(SqlType.NUMERIC, SqlType.FLOAT) is SqlType.FLOAT
+
+    def test_numeric_with_numeric(self):
+        assert common_type(SqlType.NUMERIC, SqlType.NUMERIC) \
+            is SqlType.NUMERIC
+
+    def test_text_and_int_conflict(self):
+        with pytest.raises(TypeCheckError):
+            common_type(SqlType.TEXT, SqlType.INTEGER)
+
+    @given(st.sampled_from(list(SqlType)), st.sampled_from(list(SqlType)))
+    def test_commutative(self, a, b):
+        try:
+            forward = common_type(a, b)
+        except TypeCheckError:
+            with pytest.raises(TypeCheckError):
+                common_type(b, a)
+            return
+        assert common_type(b, a) is forward
+
+
+class TestCasts:
+    def test_numeric_casts_allowed(self):
+        assert can_cast(SqlType.INTEGER, SqlType.FLOAT)
+        assert can_cast(SqlType.FLOAT, SqlType.INTEGER)
+
+    def test_anything_to_text(self):
+        for t in (SqlType.INTEGER, SqlType.FLOAT, SqlType.BOOLEAN):
+            assert can_cast(t, SqlType.TEXT)
+
+    def test_coerce_int(self):
+        assert coerce_scalar(1.9, SqlType.INTEGER) == 1
+
+    def test_coerce_none_survives(self):
+        assert coerce_scalar(None, SqlType.INTEGER) is None
+
+    def test_coerce_bool_from_text(self):
+        assert coerce_scalar("true", SqlType.BOOLEAN) is True
+        assert coerce_scalar("f", SqlType.BOOLEAN) is False
+
+    def test_coerce_bad_bool_text(self):
+        with pytest.raises(ValueError):
+            coerce_scalar("maybe", SqlType.BOOLEAN)
+
+
+class TestPythonInference:
+    def test_inference(self):
+        assert python_to_sql_type(None) is SqlType.NULL
+        assert python_to_sql_type(True) is SqlType.BOOLEAN
+        assert python_to_sql_type(3) is SqlType.INTEGER
+        assert python_to_sql_type(3.5) is SqlType.FLOAT
+        assert python_to_sql_type("x") is SqlType.TEXT
+
+    def test_unsupported(self):
+        with pytest.raises(TypeCheckError):
+            python_to_sql_type([1, 2])
+
+
+TRI = st.sampled_from([True, False, None])
+
+
+class TestThreeValuedLogic:
+    """Kleene logic truth tables, the scalar reference semantics."""
+
+    def test_and_truth_table(self):
+        assert sql_and(True, True) is True
+        assert sql_and(True, False) is False
+        assert sql_and(False, None) is False
+        assert sql_and(None, True) is None
+        assert sql_and(None, None) is None
+
+    def test_or_truth_table(self):
+        assert sql_or(False, False) is False
+        assert sql_or(True, None) is True
+        assert sql_or(None, False) is None
+        assert sql_or(None, None) is None
+
+    def test_not(self):
+        assert sql_not(True) is False
+        assert sql_not(False) is True
+        assert sql_not(None) is None
+
+    @given(TRI, TRI)
+    def test_de_morgan(self, a, b):
+        assert sql_not(sql_and(a, b)) == sql_or(sql_not(a), sql_not(b))
+
+    @given(TRI, TRI)
+    def test_commutativity(self, a, b):
+        assert sql_and(a, b) == sql_and(b, a)
+        assert sql_or(a, b) == sql_or(b, a)
+
+    @given(TRI)
+    def test_identity_elements(self, a):
+        assert sql_and(a, True) == a
+        assert sql_or(a, False) == a
+
+    def test_equal_with_null(self):
+        assert sql_equal(None, 1) is None
+        assert sql_equal(1, 1) is True
+        assert sql_equal(1, 2) is False
+
+    def test_compare_with_null(self):
+        assert sql_compare(None, 1) is None
+        assert sql_compare(1, 2) == -1
+        assert sql_compare(2, 1) == 1
+        assert sql_compare(1, 1) == 0
