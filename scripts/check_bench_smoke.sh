@@ -1,0 +1,8 @@
+#!/usr/bin/env sh
+# Tier-1 perf smoke: run the tiny iterative benchmark guard (< 10s).
+#
+# Usage: scripts/check_bench_smoke.sh [extra pytest args...]
+set -eu
+
+cd "$(dirname "$0")/.."
+PYTHONPATH=src exec python -m pytest -m bench_smoke -q "$@"

@@ -55,6 +55,10 @@ class ProgramRunner:
         self._result: Optional[Table] = None
         self._instrument = instrument
         self.profiles: dict[int, StepProfile] = {}
+        # Incremental UNION DISTINCT state, one per recursive result name,
+        # carried across the iterations of this program run.
+        self._merge_indexes: dict[str, tuple[tuple, object]] = {}
+        self._stats_at_start = ctx.stats.snapshot() if instrument else None
 
     def run(self) -> Optional[Table]:
         pc = 0
@@ -96,7 +100,27 @@ class ProgramRunner:
             if isinstance(step, LoopStep):
                 spec = self._program.loops[step.loop_id]
                 lines.append(f"     loop {spec.annotation()}")
+        lines.extend(self._cache_report())
         return "\n".join(lines)
+
+    def _cache_report(self) -> list[str]:
+        """Kernel-cache counter deltas for this run (EXPLAIN ANALYZE)."""
+        if self._stats_at_start is None:
+            return []
+        now = self._ctx.stats.snapshot()
+        delta = {key: now[key] - self._stats_at_start.get(key, 0)
+                 for key in now}
+        state = ("on" if self._ctx.options.enable_kernel_cache else "off")
+        return [
+            f"kernel cache ({state}): "
+            f"hits={delta['kernel_cache_hits']}, "
+            f"misses={delta['kernel_cache_misses']}, "
+            f"invalidations={delta['kernel_cache_invalidations']}",
+            f"join index: hits={delta['join_index_hits']}, "
+            f"misses={delta['join_index_misses']}",
+            f"merge index: hits={delta['merge_index_hits']}, "
+            f"rebuilds={delta['merge_index_rebuilds']}",
+        ]
 
     # -- step dispatch -------------------------------------------------------
 
@@ -137,7 +161,8 @@ class ProgramRunner:
         if isinstance(step, DuplicateCheckStep):
             table = ctx.registry.fetch(step.result_name)
             key = table.column(step.key_column)
-            codes, cardinality = factorize(key, nulls_match=True)
+            codes, cardinality = factorize(key, nulls_match=True,
+                                           cache=ctx.active_kernel_cache())
             if len(codes) and cardinality < len(codes):
                 raise DuplicateKeyError(
                     "the iterative part produced duplicate values for key "
@@ -149,7 +174,8 @@ class ProgramRunner:
             previous = ctx.registry.fetch(step.previous)
             current = ctx.registry.fetch(step.current)
             key_index = current.schema.index_of(step.key_column)
-            changed = count_changed_rows(previous, current, key_index)
+            changed = count_changed_rows(previous, current, key_index,
+                                         ctx.active_kernel_cache())
             self._loop_states[step.loop_id].record_updates(changed)
             return None
 
@@ -190,11 +216,10 @@ class ProgramRunner:
         """UNION / UNION ALL fixed-point bookkeeping for recursive CTEs."""
         import numpy as np
 
-        from ..execution.kernels import encode_keys
-
         ctx = self._ctx
         result = ctx.registry.fetch(step.result)
         candidate = ctx.registry.fetch(step.candidate)
+        ctx.stats.merge_steps += 1
 
         if not step.distinct:
             # UNION ALL: everything is new.
@@ -206,24 +231,88 @@ class ProgramRunner:
             ctx.registry.store(step.working, candidate)
             return
 
-        joint = [rc.concat(cc) for rc, cc in
-                 zip(result.columns, candidate.columns)]
-        codes = encode_keys(joint, nulls_match=True) if joint else None
-        if codes is None:
+        if not result.columns:
+            # Zero-column rows are all identical: nothing is ever new.
             new_mask = np.zeros(candidate.num_rows, dtype=np.bool_)
+        elif ctx.options.enable_kernel_cache:
+            new_mask = self._merge_incremental(step, result, candidate)
         else:
-            seen = set(codes[:result.num_rows].tolist())
-            cand_codes = codes[result.num_rows:]
-            new_mask = np.ones(candidate.num_rows, dtype=np.bool_)
-            emitted: set[int] = set()
-            for i, code in enumerate(cand_codes.tolist()):
-                if code in seen or code in emitted:
-                    new_mask[i] = False
-                else:
-                    emitted.add(code)
+            new_mask = _merge_rescan(result, candidate)
         new_rows = candidate.filter(new_mask)
         ctx.registry.store(step.result, result.concat(new_rows))
         ctx.registry.store(step.working, new_rows)
+
+    def _merge_incremental(self, step: RecursiveMergeStep, result: Table,
+                           candidate: Table) -> "np.ndarray":
+        """Dedup the candidate delta against the persistent seen-row
+        index instead of re-encoding ``result ++ candidate``.
+
+        The index lives for the duration of this program run, keyed by
+        the result name; it is rebuilt (one O(result) scan) whenever the
+        result table changed outside this merge step or the UNION's
+        common column types drifted."""
+        from ..execution.kernel_cache import IncrementalDistinctIndex
+        from ..types import common_type
+
+        ctx = self._ctx
+        types = tuple(
+            common_type(rc.sql_type, cc.sql_type)
+            for rc, cc in zip(result.columns, candidate.columns))
+        entry = self._merge_indexes.get(step.result)
+        index = None
+        if entry is not None:
+            entry_types, entry_index = entry
+            if entry_index is None and entry_types == types:
+                # The index overflowed its per-column id budget earlier;
+                # stay on the rescan path rather than rebuild every merge.
+                return _merge_rescan(result, candidate)
+            if entry_index is not None and entry_types == types \
+                    and entry_index.rows_absorbed == result.num_rows:
+                index = entry_index
+                ctx.stats.merge_index_hits += 1
+        if index is None:
+            index = IncrementalDistinctIndex(len(types))
+            result_cols = [rc if rc.sql_type is t else rc.cast(t)
+                           for rc, t in zip(result.columns, types)]
+            if index.absorb(result_cols, result.num_rows) is None:
+                self._merge_indexes[step.result] = (types, None)
+                return _merge_rescan(result, candidate)
+            self._merge_indexes[step.result] = (types, index)
+            ctx.stats.merge_index_rebuilds += 1
+        candidate_cols = [cc if cc.sql_type is t else cc.cast(t)
+                          for cc, t in zip(candidate.columns, types)]
+        new_mask = index.filter_new(candidate_cols, candidate.num_rows)
+        if new_mask is None:
+            self._merge_indexes[step.result] = (types, None)
+            return _merge_rescan(result, candidate)
+        return new_mask
+
+
+def _merge_rescan(result: Table, candidate: Table):
+    """Cache-off UNION DISTINCT dedup: joint-encode ``result ++
+    candidate`` from scratch each iteration, but with sorted-search
+    membership instead of the per-row Python set loop this replaces.
+    Produces exactly the masks of the incremental path."""
+    import numpy as np
+
+    from ..execution.kernels import encode_keys
+
+    joint = [rc.concat(cc) for rc, cc in
+             zip(result.columns, candidate.columns)]
+    codes = encode_keys(joint, nulls_match=True)
+    seen_sorted = np.sort(codes[:result.num_rows])
+    cand_codes = codes[result.num_rows:]
+
+    _, first_index = np.unique(cand_codes, return_index=True)
+    first_mask = np.zeros(candidate.num_rows, dtype=np.bool_)
+    first_mask[first_index] = True
+    if len(seen_sorted):
+        positions = np.searchsorted(seen_sorted, cand_codes)
+        inside = positions < len(seen_sorted)
+        clipped = np.where(inside, positions, 0)
+        in_seen = inside & (seen_sorted[clipped] == cand_codes)
+        return first_mask & ~in_seen
+    return first_mask
 
 
 def run_program(program: Program, ctx: ExecutionContext) -> Optional[Table]:

@@ -77,6 +77,7 @@ class Database:
     """An embedded relational engine with iterative-CTE support."""
 
     def __init__(self, options: Optional[SessionOptions] = None):
+        from ..execution.kernel_cache import KernelCache
         self.catalog = Catalog()
         self.registry = ResultRegistry()
         self.options = options or SessionOptions()
@@ -84,6 +85,10 @@ class Database:
         self.transactions = TransactionManager()
         self.workload = WorkloadManager()
         self.statistics = StatisticsCatalog(self.catalog)
+        # One kernel cache per database, shared by every statement's
+        # execution context so loop-invariant state survives across
+        # queries; DML invalidates the entries it replaces.
+        self.kernel_cache = KernelCache(self.stats)
 
     # -- public API --------------------------------------------------------
 
@@ -132,7 +137,7 @@ class Database:
             raise ReproError("EXPLAIN ANALYZE supports only queries")
         program = self._compile(statement)
         ctx = ExecutionContext(self.catalog, self.registry, self.options,
-                               self.stats)
+                               self.stats, self.kernel_cache)
         runner = ProgramRunner(program, ctx, instrument=True)
         runner.run()
         return runner.report()
@@ -159,6 +164,7 @@ class Database:
         """Bulk append rows to an existing table (no per-row DML cost)."""
         table = self.catalog.get(name)
         loaded = Table.from_rows(table.schema, rows)
+        self.kernel_cache.invalidate_table(table)
         self.catalog.put(name, table.concat(loaded)
                          if table.num_rows else loaded)
         return loaded.num_rows
@@ -182,7 +188,7 @@ class Database:
         self.workload.admit(UnitKind.QUERY, "query",
                             steps=len(program.steps))
         ctx = ExecutionContext(self.catalog, self.registry, self.options,
-                               self.stats)
+                               self.stats, self.kernel_cache)
         table = run_program(program, ctx)
         if table is None:
             raise ReproError("query program produced no result")
@@ -219,7 +225,7 @@ class Database:
             return QueryResult()
 
         ctx = ExecutionContext(self.catalog, self.registry, self.options,
-                               self.stats)
+                               self.stats, self.kernel_cache)
 
         if isinstance(statement, ast.Insert):
             self.workload.admit(UnitKind.DML, f"insert {statement.table}")

@@ -59,6 +59,7 @@ def execute_insert(stmt: ast.Insert, ctx: ExecutionContext,
         full_rows.append(tuple(full))
 
     appended = Table.from_rows(table.schema, full_rows)
+    ctx.kernel_cache.invalidate_table(table)
     ctx.catalog.put(stmt.table, table.concat(appended)
                     if table.num_rows else appended
                     if full_rows else table)
@@ -86,6 +87,10 @@ def execute_delete(stmt: ast.Delete, ctx: ExecutionContext,
                    plan_context: PlanContext) -> int:
     table = ctx.catalog.get(stmt.table)
     ctx.stats.lock_acquisitions += 1
+    # The replaced columns' cached dictionaries must never be served for
+    # the table's new contents; new columns carry new versions, so this
+    # is eager memory release as much as invalidation.
+    ctx.kernel_cache.invalidate_table(table)
     if stmt.where is None:
         ctx.catalog.put(stmt.table, Table.empty(table.schema))
         return table.num_rows
@@ -101,6 +106,7 @@ def execute_update(stmt: ast.Update, ctx: ExecutionContext,
     """UPDATE ... [FROM ...] [WHERE ...]; returns rows updated."""
     table = ctx.catalog.get(stmt.table)
     ctx.stats.lock_acquisitions += 1
+    ctx.kernel_cache.invalidate_table(table)
     alias = stmt.table.lower()
 
     if stmt.from_clause is None:

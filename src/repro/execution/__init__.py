@@ -3,12 +3,15 @@
 from .context import ExecutionContext, ExecutionStats, SessionOptions
 from .expressions import evaluate, evaluate_predicate
 from .frame import Frame
+from .kernel_cache import IncrementalDistinctIndex, KernelCache
 from .operators import execute_plan, execute_to_table
 
 __all__ = [
     "ExecutionContext",
     "ExecutionStats",
     "SessionOptions",
+    "IncrementalDistinctIndex",
+    "KernelCache",
     "evaluate",
     "evaluate_predicate",
     "Frame",

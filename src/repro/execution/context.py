@@ -31,6 +31,14 @@ class ExecutionStats:
     merge_steps: int = 0
     common_results_built: int = 0
     predicate_pushdowns: int = 0
+    # Iteration-aware kernel cache (see repro.execution.kernel_cache).
+    kernel_cache_hits: int = 0
+    kernel_cache_misses: int = 0
+    kernel_cache_invalidations: int = 0
+    join_index_hits: int = 0
+    join_index_misses: int = 0
+    merge_index_hits: int = 0
+    merge_index_rebuilds: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return dict(self.__dict__)
@@ -67,6 +75,11 @@ class SessionOptions:
     # Compile hot expressions into fused closures (the LLVM-codegen
     # analog, see repro.execution.compiler).
     enable_expr_compile: bool = True
+    # Iteration-aware kernel cache: memoized column dictionaries, reusable
+    # join build-side indexes, and incremental UNION DISTINCT state (see
+    # repro.execution.kernel_cache).  Disabling it restores recompute-
+    # from-scratch kernels with bit-identical results.
+    enable_kernel_cache: bool = True
     # Safety cap for runaway iterative queries.
     max_iterations: int = 100_000
 
@@ -79,10 +92,21 @@ class ExecutionContext:
 
     def __init__(self, catalog: Catalog, registry: ResultRegistry,
                  options: SessionOptions | None = None,
-                 stats: ExecutionStats | None = None):
+                 stats: ExecutionStats | None = None,
+                 kernel_cache=None):
         from .compiler import ExpressionCache
+        from .kernel_cache import KernelCache
         self.catalog = catalog
         self.registry = registry
         self.options = options or SessionOptions()
         self.stats = stats or ExecutionStats()
         self.expr_cache = ExpressionCache()
+        # Shared across statements when the Database passes its own (so
+        # loop-invariant state survives within and across queries and DML
+        # can invalidate it); otherwise private to this context.
+        self.kernel_cache = kernel_cache or KernelCache(self.stats)
+
+    def active_kernel_cache(self):
+        """The kernel cache, or None when the session disables it."""
+        return self.kernel_cache if self.options.enable_kernel_cache \
+            else None

@@ -4,52 +4,63 @@ The central abstraction is *key encoding*: a list of columns is turned into
 a single int64 code per row via per-column factorization and mixed-radix
 combination.  Join keys encode NULL as -1 (never matches); grouping keys
 encode NULL as an ordinary bucket (SQL groups NULLs together).
+
+Every factorizing kernel takes an optional :class:`KernelCache`: when
+given, the per-column dictionary (the ``np.unique`` result) is memoized
+keyed by the column's version, so loop-invariant columns are factorized
+once per loop instead of once per iteration.  Cached code arrays are
+read-only; kernels that combine codes always allocate fresh output.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from ..storage import Column
+from .kernel_cache import KernelCache, build_dictionary
 
 
-def factorize(column: Column, nulls_match: bool) -> tuple[np.ndarray, int]:
+def factorize(column: Column, nulls_match: bool,
+              cache: Optional[KernelCache] = None
+              ) -> tuple[np.ndarray, int]:
     """Per-column dense codes.
 
     Returns (codes, cardinality).  Valid values get codes in
     [0, n_unique); NULLs get ``n_unique`` when ``nulls_match`` (they form
     their own group) or -1 otherwise (they never match anything).
+
+    With a cache, the returned array may be shared (and read-only);
+    callers must not mutate it in place.
     """
-    count = len(column)
-    codes = np.full(count, -1, dtype=np.int64)
-    valid = ~column.mask
-    n_unique = 0
-    if valid.any():
-        values = column.data[valid]
-        if values.dtype == object:
-            # np.unique on object arrays works for homogeneous str data.
-            uniques, inverse = np.unique(values.astype(str),
-                                         return_inverse=True)
-        else:
-            uniques, inverse = np.unique(values, return_inverse=True)
-        codes[valid] = inverse
-        n_unique = len(uniques)
+    if cache is not None:
+        dictionary = cache.dictionary(column)
+        n_unique = dictionary.cardinality
+        if nulls_match:
+            if dictionary.has_nulls:
+                codes = np.array(dictionary.codes)
+                codes[column.mask] = n_unique
+                return codes, n_unique + 1
+            return dictionary.codes, n_unique + 1
+        return dictionary.codes, n_unique
+    dictionary = build_dictionary(column)
+    n_unique = dictionary.cardinality
+    codes = np.array(dictionary.codes)
     if nulls_match:
-        codes[~valid] = n_unique
+        codes[column.mask] = n_unique
         return codes, n_unique + 1
     return codes, n_unique
 
 
-def encode_keys(columns: Sequence[Column],
-                nulls_match: bool) -> np.ndarray:
+def encode_keys(columns: Sequence[Column], nulls_match: bool,
+                cache: Optional[KernelCache] = None) -> np.ndarray:
     """Combine key columns into one int64 code per row (-1 = no-match)."""
     if not columns:
         raise ValueError("encode_keys needs at least one column")
     combined = None
     for column in columns:
-        codes, cardinality = factorize(column, nulls_match)
+        codes, cardinality = factorize(column, nulls_match, cache)
         if combined is None:
             combined = codes
             combined_card = max(cardinality, 1)
@@ -72,18 +83,28 @@ def encode_keys(columns: Sequence[Column],
 
 
 def equi_join_pairs(left_codes: np.ndarray,
-                    right_codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+                    right_codes: np.ndarray,
+                    right_sorted: tuple[np.ndarray, np.ndarray] | None = None
+                    ) -> tuple[np.ndarray, np.ndarray]:
     """All matching (left_row, right_row) index pairs for equal codes.
 
     Codes of -1 never match.  Pairs are grouped by left row in left-row
     order, which downstream outer-join padding relies on.
+
+    ``right_sorted`` is an optional prebuilt (sorted_codes,
+    sorted_positions) pair for the right side — a cached
+    :class:`~repro.execution.kernel_cache.JoinIndex` supplies it so a
+    loop-invariant build side is sorted once per loop, not per iteration.
     """
-    valid_right = right_codes >= 0
-    right_positions = np.nonzero(valid_right)[0]
-    right_valid_codes = right_codes[valid_right]
-    order = np.argsort(right_valid_codes, kind="stable")
-    sorted_codes = right_valid_codes[order]
-    sorted_positions = right_positions[order]
+    if right_sorted is not None:
+        sorted_codes, sorted_positions = right_sorted
+    else:
+        valid_right = right_codes >= 0
+        right_positions = np.nonzero(valid_right)[0]
+        right_valid_codes = right_codes[valid_right]
+        order = np.argsort(right_valid_codes, kind="stable")
+        sorted_codes = right_valid_codes[order]
+        sorted_positions = right_positions[order]
 
     valid_left = left_codes >= 0
     lo = np.searchsorted(sorted_codes, left_codes, "left")
@@ -113,11 +134,12 @@ def group_ids(codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     return inverse.astype(np.int64), first_index.astype(np.int64)
 
 
-def distinct_indices(columns: Sequence[Column]) -> np.ndarray:
+def distinct_indices(columns: Sequence[Column],
+                     cache: Optional[KernelCache] = None) -> np.ndarray:
     """Row indices keeping the first occurrence of each distinct row."""
     if not columns:
         return np.zeros(1, dtype=np.int64)
-    codes = encode_keys(columns, nulls_match=True)
+    codes = encode_keys(columns, nulls_match=True, cache=cache)
     _, first_index = group_ids(codes)
     return np.sort(first_index)
 

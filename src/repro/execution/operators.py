@@ -221,6 +221,50 @@ def _extract_equi_keys(condition: ast.Expr | None,
     return equi, residual
 
 
+def _encode_join_sides(left_keys: list[Column], right_keys: list[Column],
+                       ctx: ExecutionContext):
+    """Codes for both sides of an equi join in one shared space.
+
+    Preferred path: treat the right side as the build side — factorize it
+    into per-column dictionaries (memoized by the kernel cache, so a
+    loop-invariant build input is factorized and sorted once per loop)
+    and binary-search the probe side against them.  Probe values absent
+    from the build dictionaries cannot match and encode as -1, so the
+    resulting pairs are identical to the joint-encoding fallback, which
+    remains for mixed-radix overflow and the cache-off configuration.
+
+    Returns (left_codes, right_codes, right_sorted-or-None).
+    """
+    from ..types import common_type
+    casted_left, casted_right = [], []
+    for lk, rk in zip(left_keys, right_keys):
+        target = common_type(lk.sql_type, rk.sql_type)
+        casted_left.append(lk if lk.sql_type is target
+                           else lk.cast(target))
+        casted_right.append(rk if rk.sql_type is target
+                            else rk.cast(target))
+    cache = ctx.active_kernel_cache()
+    if cache is not None:
+        index = cache.join_index(casted_right)
+        if index is not None:
+            return index.probe(casted_left), index.codes, index.sorted
+    # Joint encoding: the concatenated key columns are ephemeral, so
+    # memoizing their dictionaries would only pollute the cache.
+    joint = [lk.concat(rk) for lk, rk in zip(casted_left, casted_right)]
+    codes = encode_keys(joint, nulls_match=False)
+    n_left = len(casted_left[0])
+    return codes[:n_left], codes[n_left:], None
+
+
+def _equi_pairs(equi, left: Frame, right: Frame,
+                ctx: ExecutionContext) -> tuple[np.ndarray, np.ndarray]:
+    left_keys = [evaluate(a, left) for a, _ in equi]
+    right_keys = [evaluate(b, right) for _, b in equi]
+    left_codes, right_codes, right_sorted = _encode_join_sides(
+        left_keys, right_keys, ctx)
+    return equi_join_pairs(left_codes, right_codes, right_sorted)
+
+
 def _execute_join(op: LogicalJoin, ctx: ExecutionContext) -> Frame:
     if op.kind is ast.JoinKind.RIGHT:
         # Mirror: RIGHT JOIN == LEFT JOIN with sides swapped, then restore
@@ -247,15 +291,7 @@ def _execute_join(op: LogicalJoin, ctx: ExecutionContext) -> Frame:
     equi, residual = _extract_equi_keys(op.condition, left.fields,
                                         right.fields)
     if equi:
-        left_keys = [evaluate(a, left) for a, _ in equi]
-        right_keys = [evaluate(b, right) for _, b in equi]
-        # Join keys must factorize identically across the two sides, so
-        # encode them jointly: concatenate, encode, then split.
-        joint = [lk.concat(rk) for lk, rk in zip(left_keys, right_keys)]
-        codes = encode_keys(joint, nulls_match=False)
-        left_codes = codes[:left.num_rows]
-        right_codes = codes[left.num_rows:]
-        left_idx, right_idx = equi_join_pairs(left_codes, right_codes)
+        left_idx, right_idx = _equi_pairs(equi, left, right, ctx)
     else:
         # Nested-loop join expressed as all-pairs.
         left_idx = np.repeat(np.arange(left.num_rows, dtype=np.int64),
@@ -310,12 +346,7 @@ def _execute_semi_join(op: LogicalSemiJoin, ctx: ExecutionContext) -> Frame:
     equi, residual = _extract_equi_keys(op.condition, left.fields,
                                         right.fields)
     if equi:
-        left_keys = [evaluate(a, left) for a, _ in equi]
-        right_keys = [evaluate(b, right) for _, b in equi]
-        joint = [lk.concat(rk) for lk, rk in zip(left_keys, right_keys)]
-        codes = encode_keys(joint, nulls_match=False)
-        left_idx, right_idx = equi_join_pairs(codes[:left.num_rows],
-                                              codes[left.num_rows:])
+        left_idx, right_idx = _equi_pairs(equi, left, right, ctx)
     else:
         left_idx = np.repeat(np.arange(left.num_rows, dtype=np.int64),
                              right.num_rows)
@@ -364,11 +395,14 @@ def _execute_set_difference(op: LogicalSetDifference,
         return left.slice(0, 0)
     codes = encode_keys(joint, nulls_match=True)
     left_codes = codes[:left.num_rows]
-    right_code_set = set(codes[left.num_rows:].tolist())
+    right_sorted = np.sort(codes[left.num_rows:])
 
-    in_right = np.fromiter((code in right_code_set
-                            for code in left_codes.tolist()),
-                           dtype=np.bool_, count=left.num_rows)
+    positions = np.searchsorted(right_sorted, left_codes)
+    inside = positions < len(right_sorted)
+    clipped = np.where(inside, positions, 0)
+    in_right = (inside & (right_sorted[clipped] == left_codes)
+                if len(right_sorted)
+                else np.zeros(left.num_rows, dtype=np.bool_))
     keep = in_right if op.intersect else ~in_right
     filtered = left.filter(keep)
     if not filtered.columns:
@@ -387,7 +421,8 @@ def _execute_aggregate(op: LogicalAggregate, ctx: ExecutionContext) -> Frame:
 
     if op.keys:
         key_columns = [evaluate(expr, child) for expr, _ in op.keys]
-        codes = encode_keys(key_columns, nulls_match=True)
+        codes = encode_keys(key_columns, nulls_match=True,
+                            cache=ctx.active_kernel_cache())
         gids, first_index = group_ids(codes)
         n_groups = len(first_index)
         key_slots = [column.take(first_index) for column in key_columns]

@@ -8,12 +8,20 @@ observed — every consumer is required to respect the mask.
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Iterable, Iterator, Sequence
 
 import numpy as np
 
 from ..errors import TypeCheckError
 from ..types import SqlType, coerce_scalar, is_null
+
+# Monotonic version source shared by every column.  A version uniquely
+# identifies one column's contents for the lifetime of the process, which
+# is what makes it safe to use as a kernel-cache key (see
+# repro.execution.kernel_cache): two columns never share a version, and a
+# "mutation" in this engine is always the construction of a new column.
+_column_versions = itertools.count(1)
 
 _FILL_VALUES = {
     SqlType.INTEGER: 0,
@@ -28,7 +36,7 @@ _FILL_VALUES = {
 class Column:
     """An immutable typed vector of SQL values with NULL tracking."""
 
-    __slots__ = ("sql_type", "data", "mask")
+    __slots__ = ("sql_type", "data", "mask", "version")
 
     def __init__(self, sql_type: SqlType, data: np.ndarray, mask: np.ndarray):
         if len(data) != len(mask):
@@ -36,6 +44,14 @@ class Column:
         self.sql_type = sql_type
         self.data = data
         self.mask = mask
+        self.version = next(_column_versions)
+
+    def bump_version(self) -> None:
+        """Mark the column as mutated: any cached derived state (codes,
+        dictionaries) keyed by the old version becomes unreachable.  The
+        engine treats columns as immutable, so this only matters to code
+        that mutates ``data``/``mask`` in place (none in-tree)."""
+        self.version = next(_column_versions)
 
     # -- constructors ------------------------------------------------------
 
