@@ -31,7 +31,12 @@ from collections import Counter
 import numpy as np
 
 from repro import Database
-from repro.harness import Comparison, Measurement, print_figure
+from repro.harness import (
+    Comparison,
+    Measurement,
+    print_figure,
+    write_bench_artifact,
+)
 from repro.types import SqlType
 from repro.workloads import pagerank_query
 
@@ -118,7 +123,7 @@ def timed_pair(name, make_db, sql, edges) -> tuple[Comparison, bool]:
     return comparison, identical
 
 
-def run_benchmark() -> dict:
+def run_benchmark(artifact_dir=None) -> dict:
     closure, closure_identical = timed_pair(
         "UNION DISTINCT closure", _closure_db, CLOSURE_SQL,
         closure_graph())
@@ -147,6 +152,12 @@ def run_benchmark() -> dict:
         ],
     }
     print(json.dumps(summary, indent=2))
+    if artifact_dir is not None:
+        path = write_bench_artifact(
+            "kernel_cache", comparisons=[closure, pagerank],
+            extra={"workloads": summary["workloads"]},
+            directory=artifact_dir)
+        print(f"wrote {path}")
     return summary
 
 
@@ -173,4 +184,4 @@ def test_kernel_cache_counters_warm_loop():
 
 
 if __name__ == "__main__":
-    run_benchmark()
+    run_benchmark(artifact_dir=".")

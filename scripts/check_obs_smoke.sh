@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Tier-1 observability smoke: run a traced iterative query, validate the
+# trace JSON against the stable schema, and check the benchmark harness
+# writes a parseable BENCH_*.json artifact (< 10s).
+#
+# Usage: scripts/check_obs_smoke.sh [extra pytest args...]
+set -eu
+
+cd "$(dirname "$0")/.."
+PYTHONPATH=src exec python -m pytest -m obs_smoke -q "$@"

@@ -43,6 +43,19 @@ class LoopState:
 
 def should_continue(state: LoopState, ctx: ExecutionContext) -> bool:
     """Evaluate the loop's continue variable after an iteration."""
+    decision = _evaluate_continue(state, ctx)
+    tracer = ctx.tracer
+    if tracer.enabled:
+        tracer.event("loop_check", kind="loop_check",
+                     loop_id=state.spec.loop_id,
+                     iterations=state.iterations,
+                     last_delta=state.last_delta,
+                     total_updates=state.total_updates,
+                     decision="continue" if decision else "stop")
+    return decision
+
+
+def _evaluate_continue(state: LoopState, ctx: ExecutionContext) -> bool:
     if state.spec.until_empty is not None:
         # Fixed-point loop (recursive CTE): run while new rows appear.
         working = ctx.registry.fetch(state.spec.until_empty)

@@ -73,8 +73,9 @@ def emit_recursive_cte(cte: ast.CommonTableExpr,
     assert step_plan is not None
 
     base_plan = optimize_plan(rename_outputs(base_plan, columns, cte_name),
-                              state.options, state.estimator)
-    step_plan = optimize_plan(step_plan, state.options, state.estimator)
+                              state.options, state.estimator, state.tracer)
+    step_plan = optimize_plan(step_plan, state.options, state.estimator,
+                              state.tracer)
 
     loop_id = next(state.loop_counter)
     spec = LoopSpec(loop_id=loop_id, termination=None,

@@ -75,6 +75,7 @@ class CompilerState:
     options: SessionOptions
     stats: ExecutionStats
     estimator: object = None  # repro.stats.CardinalityEstimator or None
+    tracer: object = None     # repro.obs.Tracer or None (untraced)
     steps: list[Step] = dataclass_field(default_factory=list)
     loops: dict[int, LoopSpec] = dataclass_field(default_factory=dict)
     temp_results: list[str] = dataclass_field(default_factory=list)
@@ -87,11 +88,17 @@ class CompilerState:
 def compile_statement(stmt: ast.SelectLike, context: PlanContext,
                       options: SessionOptions,
                       stats: ExecutionStats,
-                      estimator=None) -> Program:
+                      estimator=None, tracer=None) -> Program:
     """Compile a SELECT (possibly with iterative/recursive CTEs) into a
-    runnable program ending in a ReturnStep."""
+    runnable program ending in a ReturnStep.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) makes plan building and the
+    rewrite pipeline emit phase spans; ``None`` compiles untraced.
+    """
+    context.tracer = tracer if tracer is not None \
+        and getattr(tracer, "enabled", False) else None
     state = CompilerState(context=context, options=options, stats=stats,
-                          estimator=estimator)
+                          estimator=estimator, tracer=context.tracer)
 
     final = copy.copy(stmt)
     with_clause = final.with_clause
@@ -108,7 +115,8 @@ def compile_statement(stmt: ast.SelectLike, context: PlanContext,
                     cte.query, cte.columns)
 
     final_plan = build_statement(final, state.context)
-    final_plan = optimize_plan(final_plan, options, state.estimator)
+    final_plan = optimize_plan(final_plan, options, state.estimator,
+                               state.tracer)
     state.steps.append(ReturnStep(final_plan))
     if state.temp_results:
         state.steps.append(DropStep(list(state.temp_results)))
@@ -169,9 +177,11 @@ def _emit_iterative(cte: ast.IterativeCte, state: CompilerState,
         if pushed is not None:
             init_plan = LogicalFilter(init_plan, pushed)
             state.stats.predicate_pushdowns += 1
-    init_plan = optimize_plan(init_plan, options, state.estimator)
+    init_plan = optimize_plan(init_plan, options, state.estimator,
+                              state.tracer)
 
-    step_plan = optimize_plan(step_plan, options, state.estimator)
+    step_plan = optimize_plan(step_plan, options, state.estimator,
+                              state.tracer)
 
     # -- §V-A: hoist loop-invariant join blocks out of Ri ------------------
     common_steps: list[MaterializeStep] = []

@@ -15,6 +15,12 @@ from typing import Optional
 from ..errors import DuplicateKeyError, ExecutionError, IterationLimitError
 from ..execution import ExecutionContext, execute_to_table
 from ..execution.kernels import factorize
+from ..obs.telemetry import (
+    IterationRecord,
+    LoopTelemetry,
+    render_iteration_table,
+)
+from ..sql import ast
 from ..plan.program import (
     CopyStep,
     CountUpdatesStep,
@@ -45,7 +51,15 @@ class StepProfile:
 
 
 class ProgramRunner:
-    """Executes one program against an execution context."""
+    """Executes one program against an execution context.
+
+    Instrumentation (per-step profiles, the stats snapshot backing the
+    cache report, and per-iteration loop telemetry) is reset explicitly
+    at the start of every :meth:`run` call, so a runner reused for
+    back-to-back runs — or an EXPLAIN ANALYZE issued after
+    ``ExecutionStats.reset()`` — reports exactly one run, never a
+    double-counted accumulation.
+    """
 
     def __init__(self, program: Program, ctx: ExecutionContext,
                  instrument: bool = False):
@@ -55,41 +69,168 @@ class ProgramRunner:
         self._result: Optional[Table] = None
         self._instrument = instrument
         self.profiles: dict[int, StepProfile] = {}
+        # Per-loop iteration records (repro.obs), keyed by loop id.
+        self.loop_telemetry: dict[int, LoopTelemetry] = {}
         # Incremental UNION DISTINCT state, one per recursive result name,
         # carried across the iterations of this program run.
         self._merge_indexes: dict[str, tuple[tuple, object]] = {}
-        self._stats_at_start = ctx.stats.snapshot() if instrument else None
+        self._stats_at_start: Optional[dict[str, int]] = None
+        # loop_id -> (perf_counter mark, stats snapshot) at iteration start.
+        self._iter_marks: dict[int, tuple[float, dict[str, int]]] = {}
+        # loop_id -> [loop span, current iteration span] while tracing.
+        self._loop_spans: dict[int, list] = {}
+
+    def _begin_run(self, observe: bool) -> None:
+        """Reset all instrumentation state for exactly one run."""
+        self.profiles = {}
+        self.loop_telemetry = {}
+        self._iter_marks = {}
+        self._loop_spans = {}
+        self._result = None
+        self._stats_at_start = (self._ctx.stats.snapshot() if observe
+                                else None)
 
     def run(self) -> Optional[Table]:
+        ctx = self._ctx
+        tracer = ctx.tracer
+        observe = self._instrument or tracer.enabled
+        self._begin_run(observe)
         pc = 0
-        safety_budget = self._ctx.options.max_iterations
+        safety_budget = ctx.options.max_iterations
         steps = self._program.steps
-        while pc < len(steps):
-            if self._instrument:
-                started = time.perf_counter()
-                before = self._ctx.stats.rows_materialized
-                jump = self._run_step(steps[pc])
-                profile = self.profiles.setdefault(pc, StepProfile())
-                profile.executions += 1
-                profile.seconds += time.perf_counter() - started
-                profile.rows += (self._ctx.stats.rows_materialized
-                                 - before)
-            else:
-                jump = self._run_step(steps[pc])
-            if jump is not None:
-                safety_budget -= 1
-                if safety_budget <= 0:
-                    raise IterationLimitError(
-                        "iterative query exceeded max_iterations "
-                        f"({self._ctx.options.max_iterations}); raise the "
-                        "session option if this is intentional")
-                pc = jump
-            else:
-                pc += 1
+        try:
+            while pc < len(steps):
+                if observe:
+                    jump = self._run_observed_step(pc, steps[pc], tracer)
+                else:
+                    jump = self._run_step(steps[pc])
+                if jump is not None:
+                    safety_budget -= 1
+                    if safety_budget <= 0:
+                        raise IterationLimitError(
+                            "iterative query exceeded max_iterations "
+                            f"({ctx.options.max_iterations}); raise the "
+                            "session option if this is intentional")
+                    pc = jump
+                else:
+                    pc += 1
+        finally:
+            # Close spans a raising step left open so the trace tree
+            # stays well formed.
+            for spans in list(self._loop_spans.values()):
+                tracer.end(spans[1])
+                tracer.end(spans[0])
+            self._loop_spans = {}
         return self._result
 
+    def _run_observed_step(self, pc: int, step: Step,
+                           tracer) -> Optional[int]:
+        """One step with profiling, span emission, and loop telemetry."""
+        started = time.perf_counter()
+        before = self._ctx.stats.rows_materialized
+        span = None
+        if tracer.enabled:
+            span = tracer.start(type(step).__name__, kind="step",
+                                index=pc + 1, detail=step.describe())
+        try:
+            jump = self._run_step(step)
+        finally:
+            if span is not None:
+                tracer.end(span)
+        profile = self.profiles.setdefault(pc, StepProfile())
+        profile.executions += 1
+        profile.seconds += time.perf_counter() - started
+        profile.rows += self._ctx.stats.rows_materialized - before
+        if isinstance(step, InitLoopStep):
+            self._begin_loop(step.spec, tracer)
+        elif isinstance(step, LoopStep):
+            self._finish_iteration(step.loop_id, jump is not None, tracer)
+        return jump
+
+    # -- loop telemetry ------------------------------------------------------
+
+    def _begin_loop(self, spec, tracer) -> None:
+        kind = "fixpoint" if spec.until_empty is not None else "iterative"
+        self.loop_telemetry[spec.loop_id] = LoopTelemetry(
+            spec.loop_id, spec.cte_name, kind)
+        self._iter_marks[spec.loop_id] = (time.perf_counter(),
+                                          self._ctx.stats.snapshot())
+        if tracer.enabled:
+            loop_span = tracer.start(f"loop:{spec.cte_name}", kind="loop",
+                                     loop_id=spec.loop_id, loop_kind=kind)
+            iter_span = tracer.start("iteration", kind="iteration",
+                                     index=1)
+            self._loop_spans[spec.loop_id] = [loop_span, iter_span]
+
+    def _registry_rows(self, name: Optional[str]) -> int:
+        registry = self._ctx.registry
+        if name is None or not registry.exists(name):
+            return 0
+        return registry.fetch(name).num_rows
+
+    def _finish_iteration(self, loop_id: int, continuing: bool,
+                          tracer) -> None:
+        telemetry = self.loop_telemetry.get(loop_id)
+        if telemetry is None:
+            return
+        now = time.perf_counter()
+        snapshot = self._ctx.stats.snapshot()
+        mark_time, mark_stats = self._iter_marks[loop_id]
+        delta = {key: snapshot[key] - mark_stats.get(key, 0)
+                 for key in snapshot}
+        spec = self._program.loops[loop_id]
+        state = self._loop_states.get(loop_id)
+        total_rows = self._registry_rows(spec.cte_result)
+        if spec.until_empty is not None:
+            # Fixpoint loop: the working table holds the new rows.
+            working_rows = self._registry_rows(spec.until_empty)
+            delta_rows = working_rows
+        else:
+            working_rows = total_rows
+            counts_updates = (spec.termination is not None
+                              and spec.termination.kind in (
+                                  ast.TerminationKind.UPDATES,
+                                  ast.TerminationKind.DELTA))
+            if counts_updates and state is not None:
+                delta_rows = state.last_delta
+            else:
+                # Full-refresh loop (e.g. PageRank): every row rewritten.
+                delta_rows = total_rows
+        record = IterationRecord(
+            index=telemetry.iterations + 1,
+            seconds=now - mark_time,
+            delta_rows=delta_rows,
+            working_rows=working_rows,
+            total_rows=total_rows,
+            kernel_cache_hits=(delta["kernel_cache_hits"]
+                               + delta["join_index_hits"]
+                               + delta["merge_index_hits"]),
+            kernel_cache_misses=(delta["kernel_cache_misses"]
+                                 + delta["join_index_misses"]
+                                 + delta["merge_index_rebuilds"]),
+            rows_moved=delta["rows_moved"],
+            bytes_moved=delta["bytes_moved"])
+        telemetry.records.append(record)
+        self._iter_marks[loop_id] = (now, snapshot)
+        spans = self._loop_spans.get(loop_id)
+        if spans is not None:
+            loop_span, iter_span = spans
+            iter_span.set(**record.to_dict())
+            tracer.end(iter_span)
+            if continuing:
+                spans[1] = tracer.start("iteration", kind="iteration",
+                                        index=telemetry.iterations + 1)
+            else:
+                loop_span.set(iterations=telemetry.iterations)
+                tracer.end(loop_span)
+                del self._loop_spans[loop_id]
+
+    # -- reporting -----------------------------------------------------------
+
     def report(self) -> str:
-        """Render the program with measured per-step counters."""
+        """Render the program with measured per-step counters, the
+        kernel-cache counter deltas, and a per-iteration breakdown for
+        every loop the run executed."""
         lines = []
         for index, step in enumerate(self._program.steps):
             profile = self.profiles.get(index, StepProfile())
@@ -101,15 +242,16 @@ class ProgramRunner:
                 spec = self._program.loops[step.loop_id]
                 lines.append(f"     loop {spec.annotation()}")
         lines.extend(self._cache_report())
+        for loop_id in sorted(self.loop_telemetry):
+            lines.extend(render_iteration_table(
+                self.loop_telemetry[loop_id]))
         return "\n".join(lines)
 
     def _cache_report(self) -> list[str]:
         """Kernel-cache counter deltas for this run (EXPLAIN ANALYZE)."""
         if self._stats_at_start is None:
             return []
-        now = self._ctx.stats.snapshot()
-        delta = {key: now[key] - self._stats_at_start.get(key, 0)
-                 for key in now}
+        delta = self._ctx.stats.delta_since(self._stats_at_start)
         state = ("on" if self._ctx.options.enable_kernel_cache else "off")
         return [
             f"kernel cache ({state}): "
@@ -117,9 +259,11 @@ class ProgramRunner:
             f"misses={delta['kernel_cache_misses']}, "
             f"invalidations={delta['kernel_cache_invalidations']}",
             f"join index: hits={delta['join_index_hits']}, "
-            f"misses={delta['join_index_misses']}",
+            f"misses={delta['join_index_misses']}, "
+            f"overflows={delta['join_index_overflows']}",
             f"merge index: hits={delta['merge_index_hits']}, "
-            f"rebuilds={delta['merge_index_rebuilds']}",
+            f"rebuilds={delta['merge_index_rebuilds']}, "
+            f"overflows={delta['merge_index_overflows']}",
         ]
 
     # -- step dispatch -------------------------------------------------------
@@ -276,6 +420,7 @@ class ProgramRunner:
                            for rc, t in zip(result.columns, types)]
             if index.absorb(result_cols, result.num_rows) is None:
                 self._merge_indexes[step.result] = (types, None)
+                ctx.stats.merge_index_overflows += 1
                 return _merge_rescan(result, candidate)
             self._merge_indexes[step.result] = (types, index)
             ctx.stats.merge_index_rebuilds += 1
@@ -283,7 +428,12 @@ class ProgramRunner:
                           for cc, t in zip(candidate.columns, types)]
         new_mask = index.filter_new(candidate_cols, candidate.num_rows)
         if new_mask is None:
+            # Bit-budget exhaustion: the per-column id space overflowed,
+            # so every later merge of this result full-rescans.  Counted
+            # (once per transition) for EXPLAIN ANALYZE and the ROADMAP
+            # repack-on-overflow trigger.
             self._merge_indexes[step.result] = (types, None)
+            ctx.stats.merge_index_overflows += 1
             return _merge_rescan(result, candidate)
         return new_mask
 

@@ -9,6 +9,7 @@ wrapped in the same type for DML.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Iterable, Optional, Sequence
 
@@ -17,6 +18,13 @@ from ..execution import (
     ExecutionContext,
     ExecutionStats,
     SessionOptions,
+)
+from ..obs import (
+    NULL_TRACER,
+    MetricsRegistry,
+    Trace,
+    Tracer,
+    build_trace,
 )
 from ..plan import PlanContext
 from ..plan.program import Program
@@ -30,7 +38,7 @@ from ..storage import (
     pretty_table,
 )
 from ..core.rewrite import compile_statement
-from ..core.runner import ProgramRunner, run_program
+from ..core.runner import ProgramRunner
 from ..stats import (
     CardinalityEstimator,
     StatisticsCatalog,
@@ -89,17 +97,45 @@ class Database:
         # execution context so loop-invariant state survives across
         # queries; DML invalidates the entries it replaces.
         self.kernel_cache = KernelCache(self.stats)
+        # Observability (repro.obs): the metrics registry generalizes the
+        # flat ExecutionStats counters; the last recorded trace backs
+        # last_trace()/trace_json().
+        self.metrics = MetricsRegistry()
+        self._last_trace: Optional[Trace] = None
+        # Loop telemetry published by the most recent traced run, picked
+        # up by execute()/explain_analyze() when freezing the trace.
+        self._trace_loops: list = []
 
     # -- public API --------------------------------------------------------
 
     def execute(self, sql: str | ast.Statement) -> QueryResult:
-        """Parse (if needed) and run one statement."""
-        statement = parse(sql) if isinstance(sql, str) else sql
-        self.stats.statements += 1
-        try:
-            return self._dispatch(statement)
-        finally:
-            self.transactions.statement_boundary()
+        """Parse (if needed) and run one statement.
+
+        With the ``enable_tracing`` session option on, the statement
+        records a span trace plus per-iteration loop telemetry,
+        retrievable afterwards via :meth:`last_trace` /
+        :meth:`trace_json`.
+        """
+        tracer = Tracer() if self.options.enable_tracing else NULL_TRACER
+        started = time.perf_counter()
+        stats_before = self.stats.snapshot() if tracer.enabled else None
+        sql_text = sql if isinstance(sql, str) else None
+        with tracer.span("statement", kind="query"):
+            statement = parse(sql, tracer) if isinstance(sql, str) else sql
+            self.stats.statements += 1
+            try:
+                result = self._dispatch(statement, tracer)
+            finally:
+                self.transactions.statement_boundary()
+        self.metrics.counter("statements").add(1)
+        self.metrics.histogram("statement_seconds").observe(
+            time.perf_counter() - started)
+        if tracer.enabled:
+            self._last_trace = build_trace(
+                tracer, loops=self._pending_loop_telemetry(tracer),
+                metrics=self.stats.delta_since(stats_before),
+                sql=sql_text)
+        return result
 
     def execute_script(self, sql: str) -> list[QueryResult]:
         """Run a ';'-separated script; returns one result per statement."""
@@ -131,16 +167,52 @@ class Database:
 
     def explain_analyze(self, sql: str | ast.Statement) -> str:
         """Run the query and report measured per-step executions, rows
-        and time — the runtime counterpart of ``explain_cost``."""
-        statement = parse(sql) if isinstance(sql, str) else sql
-        if not isinstance(statement, (ast.Select, ast.SetOp)):
-            raise ReproError("EXPLAIN ANALYZE supports only queries")
-        program = self._compile(statement)
-        ctx = ExecutionContext(self.catalog, self.registry, self.options,
-                               self.stats, self.kernel_cache)
-        runner = ProgramRunner(program, ctx, instrument=True)
-        runner.run()
+        and time — the runtime counterpart of ``explain_cost``.
+
+        Always traces (regardless of ``enable_tracing``): the rendered
+        report includes the span tree plus a per-iteration breakdown for
+        every loop, and the trace is stored for :meth:`last_trace`.
+        """
+        sql_text = sql if isinstance(sql, str) else None
+        tracer = Tracer()
+        stats_before = self.stats.snapshot()
+        with tracer.span("statement", kind="query"):
+            statement = parse(sql, tracer) if isinstance(sql, str) else sql
+            if not isinstance(statement, (ast.Select, ast.SetOp)):
+                raise ReproError("EXPLAIN ANALYZE supports only queries")
+            program = self._compile(statement, tracer)
+            ctx = ExecutionContext(self.catalog, self.registry,
+                                   self.options, self.stats,
+                                   self.kernel_cache, tracer=tracer)
+            runner = ProgramRunner(program, ctx, instrument=True)
+            with tracer.span("execute", kind="phase"):
+                runner.run()
+        loops = [runner.loop_telemetry[key]
+                 for key in sorted(runner.loop_telemetry)]
+        self._last_trace = build_trace(
+            tracer, loops=loops,
+            metrics=self.stats.delta_since(stats_before), sql=sql_text)
         return runner.report()
+
+    def last_trace(self) -> Optional[Trace]:
+        """The trace of the most recent traced statement (``None`` when
+        nothing has been traced — tracing is opt-in via the
+        ``enable_tracing`` option or ``explain_analyze``)."""
+        return self._last_trace
+
+    def trace_json(self, indent: Optional[int] = None) -> str:
+        """The last trace serialized to its stable JSON schema."""
+        if self._last_trace is None:
+            raise ReproError(
+                "no trace recorded: set the enable_tracing option or run "
+                "explain_analyze() first")
+        return self._last_trace.to_json(indent=indent)
+
+    def metrics_snapshot(self) -> dict:
+        """Current contents of the metrics registry plus the flat
+        execution counters ingested as gauges."""
+        self.metrics.ingest(self.stats.snapshot(), prefix="stats.")
+        return self.metrics.snapshot()
 
     def set_option(self, name: str, value) -> None:
         if not hasattr(self.options, name):
@@ -150,6 +222,7 @@ class Database:
     def reset_stats(self) -> None:
         self.stats.reset()
         self.workload.reset()
+        self.metrics.reset()
 
     # -- convenience loaders -------------------------------------------------
 
@@ -177,26 +250,45 @@ class Database:
     def _plan_context(self) -> PlanContext:
         return PlanContext(self.catalog)
 
-    def _compile(self, statement: ast.SelectLike) -> Program:
+    def _compile(self, statement: ast.SelectLike,
+                 tracer=NULL_TRACER) -> Program:
         self.stats.plans_built += 1
         estimator = CardinalityEstimator(self.statistics)
-        return compile_statement(statement, self._plan_context(),
-                                 self.options, self.stats, estimator)
+        with tracer.span("compile", kind="phase") as span:
+            program = compile_statement(statement, self._plan_context(),
+                                        self.options, self.stats,
+                                        estimator, tracer)
+            if tracer.enabled:
+                span.set(steps=len(program.steps))
+        return program
 
-    def _run_query(self, statement: ast.SelectLike) -> Table:
-        program = self._compile(statement)
+    def _pending_loop_telemetry(self, tracer) -> list:
+        """Loop telemetry handed up by the runner of a traced run."""
+        loops, self._trace_loops = self._trace_loops, []
+        return loops
+
+    def _run_query(self, statement: ast.SelectLike,
+                   tracer=NULL_TRACER) -> Table:
+        program = self._compile(statement, tracer)
         self.workload.admit(UnitKind.QUERY, "query",
                             steps=len(program.steps))
         ctx = ExecutionContext(self.catalog, self.registry, self.options,
-                               self.stats, self.kernel_cache)
-        table = run_program(program, ctx)
+                               self.stats, self.kernel_cache,
+                               tracer=tracer)
+        runner = ProgramRunner(program, ctx)
+        with tracer.span("execute", kind="phase"):
+            table = runner.run()
+        if tracer.enabled:
+            self._trace_loops = [runner.loop_telemetry[key]
+                                 for key in sorted(runner.loop_telemetry)]
         if table is None:
             raise ReproError("query program produced no result")
         return table
 
-    def _dispatch(self, statement: ast.Statement) -> QueryResult:
+    def _dispatch(self, statement: ast.Statement,
+                  tracer=NULL_TRACER) -> QueryResult:
         if isinstance(statement, (ast.Select, ast.SetOp)):
-            return QueryResult(table=self._run_query(statement))
+            return QueryResult(table=self._run_query(statement, tracer))
 
         if isinstance(statement, ast.Explain):
             text = self.explain(statement.statement)

@@ -37,11 +37,25 @@ class ExecutionStats:
     kernel_cache_invalidations: int = 0
     join_index_hits: int = 0
     join_index_misses: int = 0
+    # Silent-fallback events (ROADMAP repack-on-overflow triggers): the
+    # join index hit mixed-radix int64 overflow, or the merge index
+    # exhausted its per-column id bit budget and fell back to rescans.
+    join_index_overflows: int = 0
     merge_index_hits: int = 0
     merge_index_rebuilds: int = 0
+    merge_index_overflows: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return dict(self.__dict__)
+
+    def delta_since(self, snapshot: dict[str, int]) -> dict[str, int]:
+        """Counter deltas accumulated since ``snapshot`` was taken.
+
+        Counters absent from the snapshot (e.g. one taken before a
+        release that added a counter, or an empty dict) count from zero.
+        """
+        return {key: value - snapshot.get(key, 0)
+                for key, value in self.__dict__.items()}
 
     def reset(self) -> None:
         for key in self.__dict__:
@@ -80,6 +94,12 @@ class SessionOptions:
     # repro.execution.kernel_cache).  Disabling it restores recompute-
     # from-scratch kernels with bit-identical results.
     enable_kernel_cache: bool = True
+    # Record a span trace + per-iteration loop telemetry for every
+    # statement, retrievable via Database.last_trace()/trace_json()
+    # (see repro.obs).  Off by default: the untraced hot path must stay
+    # within noise of the pre-tracing engine.  EXPLAIN ANALYZE always
+    # traces regardless of this switch.
+    enable_tracing: bool = False
     # Safety cap for runaway iterative queries.
     max_iterations: int = 100_000
 
@@ -93,7 +113,8 @@ class ExecutionContext:
     def __init__(self, catalog: Catalog, registry: ResultRegistry,
                  options: SessionOptions | None = None,
                  stats: ExecutionStats | None = None,
-                 kernel_cache=None):
+                 kernel_cache=None, tracer=None):
+        from ..obs.trace import NULL_TRACER
         from .compiler import ExpressionCache
         from .kernel_cache import KernelCache
         self.catalog = catalog
@@ -105,6 +126,9 @@ class ExecutionContext:
         # loop-invariant state survives within and across queries and DML
         # can invalidate it); otherwise private to this context.
         self.kernel_cache = kernel_cache or KernelCache(self.stats)
+        # Per-statement span tracer (repro.obs); NULL_TRACER when the
+        # statement is not being traced.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def active_kernel_cache(self):
         """The kernel cache, or None when the session disables it."""

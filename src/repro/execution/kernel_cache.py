@@ -269,7 +269,13 @@ class KernelCache:
                 self._index_candidates.popitem(last=False)
             return None
         entry = build_join_index(columns, self)
-        if entry is None:  # mixed-radix overflow: caller must fall back
+        if entry is None:
+            # Mixed-radix overflow: the combined key cardinality does not
+            # fit int64, so the caller must fall back to one-shot joint
+            # encoding.  Counted so EXPLAIN ANALYZE can surface how often
+            # this silent fallback fires (ROADMAP: repack-on-overflow).
+            if self.stats is not None:
+                self.stats.join_index_overflows += 1
             return None
         del self._index_candidates[key]
         self._indexes[key] = entry

@@ -1,6 +1,12 @@
 """Benchmark harness: timing, comparison records, paper-style reports."""
 
-from .experiment import Comparison, Measurement, time_callable, time_query
+from .experiment import (
+    Comparison,
+    Measurement,
+    time_callable,
+    time_query,
+    write_bench_artifact,
+)
 from .reporting import (
     comparison_rows,
     format_table,
@@ -13,6 +19,7 @@ __all__ = [
     "Measurement",
     "time_callable",
     "time_query",
+    "write_bench_artifact",
     "comparison_rows",
     "format_table",
     "print_figure",

@@ -8,12 +8,15 @@ and the paper-style comparison records.
 
 from __future__ import annotations
 
+import json
+import os
 import statistics
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional
 
 from ..engine import Database
+from ..obs.export import BENCH_SCHEMA_VERSION
 
 
 @dataclass
@@ -72,3 +75,46 @@ class Comparison:
         if self.optimized.seconds == 0:
             return float("inf")
         return self.baseline.seconds / self.optimized.seconds
+
+
+def _measurement_dict(measurement: Measurement) -> dict:
+    return {
+        "label": measurement.label,
+        "seconds": measurement.seconds,
+        "repeats": measurement.repeats,
+        "stdev": measurement.stdev,
+        "all_seconds": list(measurement.all_seconds),
+    }
+
+
+def _comparison_dict(comparison: Comparison) -> dict:
+    return {
+        "name": comparison.name,
+        "baseline": _measurement_dict(comparison.baseline),
+        "optimized": _measurement_dict(comparison.optimized),
+        "speedup": comparison.speedup,
+        "improvement_pct": comparison.improvement_pct,
+    }
+
+
+def write_bench_artifact(name: str,
+                         comparisons: Iterable[Comparison] = (),
+                         measurements: Iterable[Measurement] = (),
+                         extra: Optional[dict] = None,
+                         directory: str = ".") -> str:
+    """Write ``BENCH_<name>.json`` (bench schema v1, see repro.obs.export)
+    and return its path.  Benchmarks call this from their ``__main__``
+    block so importing/collecting them leaves no files behind."""
+    document = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "benchmark": name,
+        "created_unix": time.time(),
+        "measurements": [_measurement_dict(m) for m in measurements],
+        "comparisons": [_comparison_dict(c) for c in comparisons],
+        "extra": dict(extra or {}),
+    }
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    return path

@@ -10,6 +10,7 @@ counters.
 
 from __future__ import annotations
 
+import contextlib
 import enum
 from dataclasses import dataclass
 
@@ -20,6 +21,21 @@ from ..storage import Column, Schema, ColumnSchema, Table
 from ..types import SqlType
 from .cluster import Cluster, DistributedTable
 from .distribution import Distribution, DistributionKind
+
+
+@contextlib.contextmanager
+def _exchange_span(cluster: Cluster, tracer, operation: str, **attrs):
+    """An ``exchange`` span whose motion counters are measured as the
+    delta of the cluster's bill across the wrapped work."""
+    mark = (cluster.motion.rows_moved, cluster.motion.bytes_moved,
+            cluster.motion.shuffles)
+    with tracer.span("exchange", kind="exchange", operation=operation,
+                     **attrs) as span:
+        yield span
+        span.set(
+            rows_moved=cluster.motion.rows_moved - mark[0],
+            bytes_moved=cluster.motion.bytes_moved - mark[1],
+            shuffles=cluster.motion.shuffles - mark[2])
 
 
 class JoinStrategy(enum.Enum):
@@ -69,14 +85,31 @@ def plan_join(cluster: Cluster, left: DistributedTable,
 
 def distributed_join(cluster: Cluster, left: DistributedTable,
                      right: DistributedTable, left_key: str,
-                     right_key: str) -> tuple[DistributedTable,
-                                              JoinDecision]:
+                     right_key: str,
+                     tracer=None) -> tuple[DistributedTable,
+                                           JoinDecision]:
     """Inner equi-join executed segment by segment.
 
     Returns the joined distributed table (hash-distributed on the join
-    key) and the decision taken.
+    key) and the decision taken.  With a tracer, emits one ``exchange``
+    span carrying the strategy and the motion it actually charged.
     """
     decision = plan_join(cluster, left, right, left_key, right_key)
+    if tracer is not None and tracer.enabled:
+        with _exchange_span(cluster, tracer, "join",
+                            strategy=decision.strategy.value,
+                            left=left.name, right=right.name):
+            return _execute_join(cluster, left, right, left_key,
+                                 right_key, decision)
+    return _execute_join(cluster, left, right, left_key, right_key,
+                         decision)
+
+
+def _execute_join(cluster: Cluster, left: DistributedTable,
+                  right: DistributedTable, left_key: str,
+                  right_key: str,
+                  decision: JoinDecision) -> tuple[DistributedTable,
+                                                   JoinDecision]:
 
     if decision.strategy is JoinStrategy.REDISTRIBUTE_LEFT:
         left = cluster.redistribute(left, left_key)
@@ -119,11 +152,23 @@ def _local_join(left: Table, right: Table, left_key: str,
 
 
 def distributed_aggregate_sum(cluster: Cluster, table: DistributedTable,
-                              group_column: str,
-                              value_column: str) -> DistributedTable:
+                              group_column: str, value_column: str,
+                              tracer=None) -> DistributedTable:
     """Two-phase SUM GROUP BY: local partial aggregate, shuffle partials
     by group key, final aggregate.  The classic MPP plan — the local phase
     shrinks the motion from |rows| to |groups| per segment."""
+    if tracer is not None and tracer.enabled:
+        with _exchange_span(cluster, tracer, "two_phase_aggregate",
+                            table=table.name, group=group_column):
+            return _execute_aggregate_sum(cluster, table, group_column,
+                                          value_column)
+    return _execute_aggregate_sum(cluster, table, group_column,
+                                  value_column)
+
+
+def _execute_aggregate_sum(cluster: Cluster, table: DistributedTable,
+                           group_column: str,
+                           value_column: str) -> DistributedTable:
     partials = [
         _local_sum(part, group_column, value_column)
         for part in table.partitions

@@ -14,10 +14,18 @@ the single-node reference (checked in tests).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
+from ..obs.telemetry import (
+    IterationRecord,
+    LoopTelemetry,
+    render_iteration_table,
+)
+from ..obs.trace import NULL_TRACER
 from ..storage import Column, ColumnSchema, Schema, Table
 from ..types import SqlType
 from .cluster import Cluster, DistributedTable
@@ -36,6 +44,14 @@ class DistributedPageRankResult:
     rows_moved: int
     bytes_moved: int
     shuffles: int
+    telemetry: Optional[LoopTelemetry] = None
+
+    def report(self) -> str:
+        """Per-iteration breakdown (motion + convergence) as text."""
+        if self.telemetry is None:
+            return (f"distributed pagerank: {self.iterations} iterations, "
+                    f"{self.rows_moved} rows moved")
+        return "\n".join(render_iteration_table(self.telemetry))
 
 
 def _state_table(nodes: list[int]) -> Table:
@@ -52,15 +68,20 @@ def _state_table(nodes: list[int]) -> Table:
 
 def distributed_pagerank(cluster: Cluster,
                          edges: list[tuple[int, int, float]],
-                         iterations: int = 10
-                         ) -> DistributedPageRankResult:
+                         iterations: int = 10,
+                         tracer=None) -> DistributedPageRankResult:
     """PageRank over ``edges`` executed segment by segment.
 
     Per iteration and per segment: join local src-distributed edges with
     the co-located delta state, compute partial contributions per
     destination, shuffle partials onto the destination's segment, and
     update rank/delta in place.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) makes the loop emit one
+    span per iteration; per-iteration motion and convergence telemetry
+    is always collected on the returned result.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
     nodes = sorted({e[0] for e in edges} | {e[1] for e in edges})
     node_index = {node: i for i, node in enumerate(nodes)}
 
@@ -78,7 +99,19 @@ def distributed_pagerank(cluster: Cluster,
         "pr_state", _state_table(nodes), Distribution.hashed("node"))
     cluster.motion.reset()
 
-    for _ in range(iterations):
+    telemetry = LoopTelemetry(loop_id=0, cte="pr_state", kind="mpp")
+    loop_span = tracer.start("loop:pr_state", kind="loop",
+                             segments=cluster.segments) \
+        if tracer.enabled else None
+
+    for trip in range(iterations):
+        iter_started = time.perf_counter()
+        motion_mark = (cluster.motion.rows_moved,
+                       cluster.motion.bytes_moved,
+                       cluster.motion.shuffles)
+        iter_span = tracer.start("iteration", kind="iteration",
+                                 index=trip + 1) \
+            if tracer.enabled else None
         # Phase 1 (local): each segment joins its edges against the
         # co-located delta state (both hashed the same way, so the join
         # itself moves nothing) and emits (dst, delta * weight) partials.
@@ -114,6 +147,31 @@ def distributed_pagerank(cluster: Cluster,
         state = DistributedTable("pr_state", state.distribution,
                                  new_partitions)
 
+        delta_rows = sum(
+            int((part.column("delta").data != 0.0).sum())
+            for part in state.partitions)
+        record = IterationRecord(
+            index=trip + 1,
+            seconds=time.perf_counter() - iter_started,
+            delta_rows=delta_rows,
+            working_rows=sum(c.num_rows for c in partial_chunks),
+            total_rows=state.num_rows,
+            rows_moved=cluster.motion.rows_moved - motion_mark[0],
+            bytes_moved=cluster.motion.bytes_moved - motion_mark[1],
+            shuffles=cluster.motion.shuffles - motion_mark[2])
+        telemetry.records.append(record)
+        if iter_span is not None:
+            iter_span.set(seconds_measured=record.seconds,
+                          delta_rows=record.delta_rows,
+                          rows_moved=record.rows_moved,
+                          bytes_moved=record.bytes_moved,
+                          shuffles=record.shuffles)
+            tracer.end(iter_span)
+
+    if loop_span is not None:
+        loop_span.set(iterations=telemetry.iterations)
+        tracer.end(loop_span)
+
     gathered = state.gather()
     # Parity with the SQL query, which reports `rank` after the last
     # update (delta holds the not-yet-folded next increment).
@@ -125,6 +183,7 @@ def distributed_pagerank(cluster: Cluster,
         rows_moved=cluster.motion.rows_moved,
         bytes_moved=cluster.motion.bytes_moved,
         shuffles=cluster.motion.shuffles,
+        telemetry=telemetry,
     )
 
 

@@ -1,0 +1,135 @@
+"""Metrics registry: counters, gauges, and histograms by name.
+
+Generalizes the two ad-hoc counter surfaces the engine grew first —
+:class:`~repro.execution.context.ExecutionStats` (flat per-session ints)
+and the kernel-cache hit/miss counters that live on it — into one named
+registry with three instrument kinds:
+
+* **Counter** — monotonically increasing count (events, rows).
+* **Gauge** — last-written value (sizes, cumulative stats mirrored via
+  :meth:`MetricsRegistry.ingest`).
+* **Histogram** — streaming summary (count/sum/min/max/mean) of an
+  observed distribution, e.g. per-statement latency or per-iteration
+  delta sizes.  No buckets: the consumers here are trend lines, and a
+  five-number summary keeps ``observe`` O(1) with no allocation.
+
+The hot execution path keeps writing plain ``ExecutionStats`` integers
+(attribute increments are the cheapest thing Python can do); the
+registry *absorbs* those on demand with :meth:`ingest`, so benchmarks
+and trace export read one unified namespace, e.g. ``stats.rows_scanned``
+next to ``statement_seconds``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+
+class Counter:
+    """Monotonic event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Constant-space summary of an observed distribution."""
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named metrics, created on first touch."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    def ingest(self, values: Mapping[str, int], prefix: str = "") -> None:
+        """Mirror a flat counter snapshot (e.g. ``ExecutionStats``) into
+        gauges named ``prefix + key``."""
+        for key, value in values.items():
+            self.gauge(prefix + key).set(value)
+
+    def snapshot(self) -> dict:
+        """One JSON-friendly view of every metric."""
+        return {
+            "counters": {name: c.value
+                         for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value
+                       for name, g in sorted(self._gauges.items())},
+            "histograms": {name: h.summary()
+                           for name, h in sorted(self._histograms.items())},
+        }
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

@@ -1,0 +1,206 @@
+"""Hierarchical span tracer: where time goes inside one iterative plan.
+
+DBSpinner's evaluation is entirely about attributing end-to-end time to
+pieces of a *single* plan — data movement between iterations (Fig. 8),
+loop-invariant subtrees (Fig. 9), per-iteration deltas.  The tracer
+records that attribution as a tree of :class:`Span` objects:
+
+    query → phase (parse / plan / rewrite / compile / execute)
+          → program step → loop iteration
+
+A :class:`Tracer` is created per traced statement and threaded through
+the :class:`~repro.execution.context.ExecutionContext` (and the plan
+context) — there is no global state, so concurrent sessions cannot see
+each other's spans.  When tracing is off the engine passes
+:data:`NULL_TRACER`, whose every operation is a no-op attribute lookup,
+keeping the untraced hot path within noise of the pre-tracing engine.
+
+Spans carry wall time, a ``kind`` tag, and a flat scalar attribute map;
+the stable JSON projection lives in :mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+
+def _scalar(value):
+    """Attributes are JSON scalars; anything else is stringified."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+class Span:
+    """One timed node of the trace tree."""
+
+    __slots__ = ("name", "kind", "attributes", "children", "started",
+                 "seconds")
+
+    def __init__(self, name: str, kind: str = "span",
+                 attributes: Optional[dict] = None):
+        self.name = name
+        self.kind = kind
+        self.attributes = dict(attributes) if attributes else {}
+        self.children: list["Span"] = []
+        self.started = time.perf_counter()
+        self.seconds = 0.0
+
+    def set(self, **attributes) -> None:
+        """Attach (or overwrite) attributes on this span."""
+        self.attributes.update(attributes)
+
+    def find(self, name: str, kind: Optional[str] = None
+             ) -> Optional["Span"]:
+        """Depth-first search for the first descendant with ``name``."""
+        for child in self.children:
+            if child.name == name and (kind is None or child.kind == kind):
+                return child
+            found = child.find(name, kind)
+            if found is not None:
+                return found
+        return None
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "seconds": self.seconds,
+            "attributes": {key: _scalar(value)
+                           for key, value in self.attributes.items()},
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, kind={self.kind!r}, "
+                f"children={len(self.children)})")
+
+
+class Tracer:
+    """Builds one span tree via an explicit open-span stack.
+
+    ``start``/``end`` exist for code (like the program runner) whose span
+    boundaries do not nest lexically; ``span`` is the context-manager
+    sugar for code where they do.  ``end`` unwinds the stack *through*
+    the given span, so a span abandoned by an exception is closed by the
+    first enclosing ``end`` instead of leaking.
+    """
+
+    enabled = True
+
+    def __init__(self, name: str = "trace"):
+        self.root = Span(name, "root")
+        self._stack: list[Span] = [self.root]
+
+    @property
+    def current(self) -> Span:
+        return self._stack[-1]
+
+    def start(self, name: str, kind: str = "span", **attributes) -> Span:
+        span = Span(name, kind, attributes)
+        self._stack[-1].children.append(span)
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span) -> None:
+        if span not in self._stack:
+            return
+        now = time.perf_counter()
+        while len(self._stack) > 1:
+            top = self._stack.pop()
+            top.seconds = now - top.started
+            if top is span:
+                break
+
+    @contextmanager
+    def span(self, name: str, kind: str = "span", **attributes):
+        opened = self.start(name, kind, **attributes)
+        try:
+            yield opened
+        finally:
+            self.end(opened)
+
+    def event(self, name: str, kind: str = "event", **attributes) -> None:
+        """A zero-duration child of the current span."""
+        span = Span(name, kind, attributes)
+        self._stack[-1].children.append(span)
+
+    def finish(self) -> Span:
+        """Close every open span (including the root) and return it."""
+        now = time.perf_counter()
+        while self._stack:
+            top = self._stack.pop()
+            top.seconds = now - top.started
+        self._stack = [self.root]
+        return self.root
+
+
+class _NullSpan:
+    """Inert span: accepts every operation, records nothing.  Doubles as
+    its own context manager so ``with tracer.span(...)`` costs only the
+    call."""
+
+    __slots__ = ()
+    name = ""
+    kind = "null"
+    seconds = 0.0
+    attributes: dict = {}
+    children: list = []
+
+    def set(self, **attributes) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every method is a no-op (see module doc)."""
+
+    enabled = False
+    root = None
+
+    def span(self, name: str, kind: str = "span", **attributes):
+        return _NULL_SPAN
+
+    def start(self, name: str, kind: str = "span", **attributes):
+        return _NULL_SPAN
+
+    def end(self, span) -> None:
+        pass
+
+    def event(self, name: str, kind: str = "event", **attributes) -> None:
+        pass
+
+    def finish(self):
+        return None
+
+
+NULL_TRACER = NullTracer()
+
+
+def render_span_tree(span: Span, indent: int = 0) -> str:
+    """Human-readable tree: ``name [kind] 1.23ms {attr=value, ...}``."""
+    pieces = [f"{'  ' * indent}{span.name} [{span.kind}] "
+              f"{span.seconds * 1000:.2f}ms"]
+    if span.attributes:
+        inner = ", ".join(f"{key}={value}" for key, value
+                          in span.attributes.items())
+        pieces.append(f" {{{inner}}}")
+    lines = ["".join(pieces)]
+    for child in span.children:
+        lines.append(render_span_tree(child, indent + 1))
+    return "\n".join(lines)

@@ -64,11 +64,15 @@ class PlanContext:
         dataclass_field(default_factory=dict)
     _counter: itertools.count = dataclass_field(
         default_factory=lambda: itertools.count())
+    # Span tracer for the statement being compiled (repro.obs.Tracer),
+    # or None when the compile is untraced.
+    tracer: Optional[object] = None
 
     def child(self) -> "PlanContext":
         """A nested scope sharing the catalog and name counter."""
         return PlanContext(self.catalog, dict(self.cte_bindings),
-                           dict(self.inline_ctes), self._counter)
+                           dict(self.inline_ctes), self._counter,
+                           self.tracer)
 
     def fresh_name(self, prefix: str) -> str:
         return f"__{prefix}{next(self._counter)}"
@@ -80,8 +84,16 @@ def build_statement(query: ast.SelectLike, context: PlanContext) -> LogicalOp:
     The statement's WITH clause must contain only regular CTEs; iterative
     and recursive ones are peeled off by the engine before this is called.
     """
-    context = _absorb_with_clause(query, context)
-    return _build_query(query, context, qualifier=None)
+    tracer = context.tracer
+    if tracer is None or not tracer.enabled:
+        context = _absorb_with_clause(query, context)
+        return _build_query(query, context, qualifier=None)
+    with tracer.span("plan", kind="phase",
+                     statement=type(query).__name__) as span:
+        context = _absorb_with_clause(query, context)
+        plan = _build_query(query, context, qualifier=None)
+        span.set(operator=type(plan).__name__, fields=len(plan.fields))
+    return plan
 
 
 def _absorb_with_clause(query: ast.SelectLike,

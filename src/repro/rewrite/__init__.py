@@ -43,11 +43,14 @@ __all__ = [
 
 
 def optimize_plan(plan: LogicalOp, options: SessionOptions,
-                  estimator=None) -> LogicalOp:
+                  estimator=None, tracer=None) -> LogicalOp:
     """The standard optimization-rewrite pipeline for one plan tree.
 
     ``estimator`` (a :class:`repro.stats.CardinalityEstimator`) unlocks
-    the cost-based passes; rule-based passes run regardless.
+    the cost-based passes; rule-based passes run regardless.  ``tracer``
+    (a :class:`repro.obs.Tracer`) wraps the pass in a ``rewrite`` phase
+    span whose ``rule.<name>`` attributes count how often each rule
+    actually changed the plan.
     """
     rules = [fold_plan_filters]
     if options.enable_predicate_pushdown:
@@ -55,7 +58,25 @@ def optimize_plan(plan: LogicalOp, options: SessionOptions,
     if options.enable_outer_to_inner:
         rules.append(outer_to_inner)
         rules.append(inner_over_left_commute)
-    plan = apply_rules(plan, rules)
-    if options.enable_join_reorder and estimator is not None:
-        plan = reorder_joins(plan, estimator)
+    if tracer is None or not tracer.enabled:
+        plan = apply_rules(plan, rules)
+        if options.enable_join_reorder and estimator is not None:
+            plan = reorder_joins(plan, estimator)
+        return plan
+
+    fired: dict[str, int] = {}
+
+    def observer(rule) -> None:
+        name = getattr(rule, "__name__", str(rule))
+        fired[name] = fired.get(name, 0) + 1
+
+    with tracer.span("rewrite", kind="phase") as span:
+        plan = apply_rules(plan, rules, observer)
+        if options.enable_join_reorder and estimator is not None:
+            reordered = reorder_joins(plan, estimator)
+            if reordered is not plan:
+                observer(reorder_joins)
+            plan = reordered
+        span.set(**{f"rule.{name}": count
+                    for name, count in sorted(fired.items())})
     return plan

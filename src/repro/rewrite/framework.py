@@ -8,16 +8,20 @@ number of passes defensively anyway.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 from ..plan.logical import LogicalOp, transform
 
 Rule = Callable[[LogicalOp], LogicalOp]
+# Called once per rule firing with the rule that changed a node; used by
+# the tracer to report which rewrites actually did something.
+RuleObserver = Callable[[Rule], None]
 
 _MAX_PASSES = 16
 
 
-def apply_rules(plan: LogicalOp, rules: Sequence[Rule]) -> LogicalOp:
+def apply_rules(plan: LogicalOp, rules: Sequence[Rule],
+                observer: Optional[RuleObserver] = None) -> LogicalOp:
     """Apply every rule bottom-up until a full pass changes nothing."""
     for _ in range(_MAX_PASSES):
         changed = False
@@ -28,6 +32,8 @@ def apply_rules(plan: LogicalOp, rules: Sequence[Rule]) -> LogicalOp:
                 replacement = rule(node)
                 if replacement is not node:
                     changed = True
+                    if observer is not None:
+                        observer(rule)
                     node = replacement
             return node
 

@@ -766,9 +766,18 @@ class Parser:
         return ast.Delete(table, where)
 
 
-def parse(text: str) -> ast.Statement:
-    """Parse a single SQL statement."""
-    return Parser(text).parse_statement()
+def parse(text: str, tracer=None) -> ast.Statement:
+    """Parse a single SQL statement.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) wraps the parse in a
+    ``parse`` phase span recording input size and statement type.
+    """
+    if tracer is None or not tracer.enabled:
+        return Parser(text).parse_statement()
+    with tracer.span("parse", kind="phase", sql_chars=len(text)) as span:
+        statement = Parser(text).parse_statement()
+        span.set(statement_type=type(statement).__name__)
+    return statement
 
 
 def parse_script(text: str) -> list[ast.Statement]:
