@@ -1,0 +1,183 @@
+"""Semi-naive delta evaluation for ITERATIVE CTEs (DESIGN.md).
+
+Not a paper figure: this measures the delta-evaluation rewrite layered on
+the paper's one-plan loop operator.  When the planner proves the step
+query evolves each key independently (the same per-key property §V-B's
+predicate pushdown relies on), the loop tracks the changed-row frontier,
+recomputes only the affected partition, and scatters the results back —
+falling through to the always-correct full body whenever the proof or the
+runtime validation fails.
+
+Three convergence profiles, delta off vs. on, results asserted
+bit-identical (mask-aware):
+
+* **SSSP on a DAG, fixed 60 iterations** — the delta wave dies out once
+  the longest path from the source is exhausted; every remaining
+  iteration sees an empty frontier and costs O(1) instead of a full
+  recomputation.  Expected: >= 1.5x end to end.
+* **PageRank, 12 iterations** — the rank/delta pair changes for almost
+  every node every iteration, so the frontier stays near-full and delta
+  evaluation degenerates to full work plus bookkeeping.  Expected:
+  parity (>= 0.7x, never a collapse).
+* **Friends workload, 5 iterations** — a pure per-row map that
+  stabilizes quickly; a small win from the shrinking frontier.
+
+Run directly for the JSON summary:
+
+    PYTHONPATH=src python benchmarks/bench_delta_iteration.py
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import Counter
+
+import numpy as np
+
+from repro import Database
+from repro.harness import (
+    Comparison,
+    Measurement,
+    print_figure,
+    write_bench_artifact,
+)
+from repro.types import SqlType
+from repro.workloads import ff_query, pagerank_query, sssp_query
+
+SSSP_ITERATIONS = 60
+PAGERANK_ITERATIONS = 12
+FF_ITERATIONS = 5
+
+
+def dag_graph(num_nodes=3000, num_edges=12000, seed=5):
+    """Random DAG (edges point to higher ids): SSSP's delta wave dies."""
+    rng = np.random.default_rng(seed)
+    edges = set()
+    while len(edges) < num_edges:
+        a, b = rng.integers(1, num_nodes + 1, size=2)
+        if a < b:
+            edges.add((int(a), int(b)))
+    return [(a, b, round(float(rng.uniform(0.1, 2.0)), 3))
+            for a, b in sorted(edges)]
+
+
+def pagerank_graph(num_nodes=5000, num_edges=30000, seed=11):
+    rng = np.random.default_rng(seed)
+    edges = set()
+    while len(edges) < num_edges:
+        a, b = rng.integers(1, num_nodes + 1, size=2)
+        if a != b:
+            edges.add((int(a), int(b)))
+    out_degree = Counter(a for a, _ in edges)
+    return sorted((a, b, 1.0 / out_degree[a]) for a, b in edges)
+
+
+def _graph_db(edges, delta_on):
+    db = Database()
+    db.set_option("enable_delta_iteration", delta_on)
+    db.create_table("edges", [("src", SqlType.INTEGER),
+                              ("dst", SqlType.INTEGER),
+                              ("weight", SqlType.FLOAT)])
+    db.load_rows("edges", edges)
+    return db
+
+
+def tables_bit_identical(left, right) -> bool:
+    """Row-for-row equality; masked (NULL) slots compare by mask only."""
+    if left.num_rows != right.num_rows:
+        return False
+    for lc, rc in zip(left.columns, right.columns):
+        if not (lc.mask == rc.mask).all():
+            return False
+        valid = ~lc.mask
+        if not (lc.data[valid] == rc.data[valid]).all():
+            return False
+    return True
+
+
+def timed_pair(name, sql, edges) -> tuple[Comparison, bool, int]:
+    """Delta-off (baseline) vs delta-on (optimized) on fresh databases.
+
+    One timed run per mode: both modes share the kernel cache design of
+    warming inside the loop, so repeats would measure warm state rather
+    than one query end to end."""
+    results = {}
+    seconds = {}
+    delta_iterations = 0
+    for delta_on in (False, True):
+        db = _graph_db(edges, delta_on)
+        started = time.perf_counter()
+        results[delta_on] = db.execute(sql).table
+        seconds[delta_on] = time.perf_counter() - started
+        if delta_on:
+            delta_iterations = db.stats.delta_iterations
+    identical = tables_bit_identical(results[True], results[False])
+    comparison = Comparison(
+        name,
+        Measurement(f"{name}/delta-off", seconds[False], 1),
+        Measurement(f"{name}/delta-on", seconds[True], 1))
+    return comparison, identical, delta_iterations
+
+
+def run_benchmark(artifact_dir=None) -> dict:
+    cases = [
+        (f"SSSP DAG x{SSSP_ITERATIONS}",
+         sssp_query(source=1, iterations=SSSP_ITERATIONS), dag_graph()),
+        (f"PageRank x{PAGERANK_ITERATIONS}",
+         pagerank_query(iterations=PAGERANK_ITERATIONS), pagerank_graph()),
+        (f"Friends x{FF_ITERATIONS}",
+         ff_query(iterations=FF_ITERATIONS, selectivity_mod=7),
+         dag_graph(num_nodes=2000, num_edges=8000, seed=9)),
+    ]
+    rows = [timed_pair(name, sql, edges) for name, sql, edges in cases]
+    print_figure(
+        "Semi-naive delta evaluation for ITERATIVE CTEs",
+        [comparison for comparison, _, _ in rows],
+        "frontier-driven recomputation: >= 1.5x on convergent SSSP, "
+        "parity on full-frontier PageRank")
+    summary = {
+        "benchmark": "delta_iteration",
+        "workloads": [
+            {
+                "name": comparison.name,
+                "delta_off_seconds": comparison.baseline.seconds,
+                "delta_on_seconds": comparison.optimized.seconds,
+                "speedup": comparison.speedup,
+                "bit_identical": identical,
+                "delta_iterations": delta_iterations,
+            }
+            for comparison, identical, delta_iterations in rows
+        ],
+    }
+    print(json.dumps(summary, indent=2))
+    if artifact_dir is not None:
+        path = write_bench_artifact(
+            "delta_iteration",
+            comparisons=[comparison for comparison, _, _ in rows],
+            extra={"workloads": summary["workloads"]},
+            directory=artifact_dir)
+        print(f"wrote {path}")
+    return summary
+
+
+def test_delta_iteration_report():
+    summary = run_benchmark()
+    sssp, pagerank, friends = summary["workloads"]
+    for workload in summary["workloads"]:
+        assert workload["bit_identical"], (
+            f"delta evaluation changed {workload['name']} results")
+        assert workload["delta_iterations"] > 0, (
+            f"delta evaluation never activated on {workload['name']}")
+    assert sssp["speedup"] >= 1.5, (
+        f"SSSP speedup {sssp['speedup']:.2f}x below the 1.5x floor")
+    assert pagerank["speedup"] >= 0.7, (
+        f"PageRank collapsed under delta evaluation: "
+        f"{pagerank['speedup']:.2f}x")
+    assert friends["speedup"] >= 0.7, (
+        f"Friends collapsed under delta evaluation: "
+        f"{friends['speedup']:.2f}x")
+
+
+if __name__ == "__main__":
+    run_benchmark(artifact_dir=".")

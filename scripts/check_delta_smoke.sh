@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Tier-1 delta-evaluation smoke: semi-naive delta mode must stay
+# bit-identical to full recomputation on the three graph workloads, the
+# frontier must actually drive the loop, and the segmented append path
+# must move O(|delta|) rows per iteration (< 10s).
+#
+# Usage: scripts/check_delta_smoke.sh [extra pytest args...]
+set -eu
+
+cd "$(dirname "$0")/.."
+PYTHONPATH=src exec python -m pytest -m delta_smoke -q "$@"

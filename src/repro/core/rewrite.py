@@ -41,6 +41,11 @@ from ..plan import (
 )
 from ..plan.program import (
     CountUpdatesStep,
+    DeltaApplyStep,
+    DeltaCaptureStep,
+    DeltaGateStep,
+    DeltaPartitionStep,
+    DeltaSpec,
     DropStep,
     DuplicateCheckStep,
     IncrementLoopStep,
@@ -56,6 +61,7 @@ from ..plan.program import (
     CopyStep,
 )
 from ..rewrite import (
+    analyze_iterative_delta,
     conjoin,
     extract_common_results,
     optimize_plan,
@@ -206,6 +212,23 @@ def _emit_iterative(cte: ast.IterativeCte, state: CompilerState,
                     columns=columns)
     state.loops[loop_id] = spec
 
+    # -- semi-naive delta rewrite (when provably per-key independent) ------
+    delta_spec = None
+    delta_plan = None
+    if state.options.enable_delta_iteration:
+        safety = analyze_iterative_delta(cte, columns, context.catalog)
+        if safety is not None:
+            partition = f"__part_{cte_name}_{suffix}"
+            delta_working = f"__dwork_{cte_name}_{suffix}"
+            delta_spec = DeltaSpec(
+                loop_id=loop_id, cte_name=cte_name, cte_result=cte_result,
+                working=working, partition=partition,
+                delta_working=delta_working, key_column=key_column,
+                columns=columns, merge_by_key=has_where,
+                influences=list(safety.influences))
+            delta_plan = _build_delta_step_plan(
+                state, cte, cte_name, binding, partition, columns, types)
+
     steps = state.steps
     steps.append(MaterializeStep(
         cte_result, init_plan, columns,
@@ -214,7 +237,24 @@ def _emit_iterative(cte: ast.IterativeCte, state: CompilerState,
     steps.append(InitLoopStep(spec))
 
     loop_start = len(steps)
-    if needs_update_count:
+    if delta_spec is not None:
+        gate = DeltaGateStep(delta_spec)
+        apply_step = DeltaApplyStep(delta_spec)
+        steps.append(gate)
+        steps.append(DeltaPartitionStep(delta_spec))
+        steps.append(MaterializeStep(
+            delta_spec.delta_working, delta_plan, columns,
+            comment=f"iterative part of {cte.name} over the affected "
+                    "partition"))
+        if has_where:
+            steps.append(DuplicateCheckStep(delta_spec.delta_working,
+                                            key_column))
+        steps.append(apply_step)
+        # Delta capture always needs the previous iteration to diff
+        # against, even when the termination condition does not.
+        gate.jump_full = len(steps)
+        steps.append(SnapshotStep(cte_result, previous))
+    elif needs_update_count:
         steps.append(SnapshotStep(cte_result, previous))
     steps.append(MaterializeStep(
         working, step_plan, columns,
@@ -252,16 +292,61 @@ def _emit_iterative(cte: ast.IterativeCte, state: CompilerState,
     if needs_update_count:
         steps.append(CountUpdatesStep(previous, cte_result, key_column,
                                       loop_id))
+    if delta_spec is not None:
+        steps.append(DeltaCaptureStep(delta_spec, previous))
+        apply_step.jump_to = len(steps)
+        gate.jump_done = len(steps)
     steps.append(IncrementLoopStep(loop_id))
     steps.append(LoopStep(loop_id, loop_start))
 
     state.temp_results.extend([cte_result, working])
-    if needs_update_count:
+    if needs_update_count or delta_spec is not None:
         state.temp_results.append(previous)
+    if delta_spec is not None:
+        state.temp_results.extend([delta_spec.partition,
+                                   delta_spec.delta_working])
 
     # Later parts of the statement (including Qf) see the CTE as a
     # materialized result.
     context.cte_bindings[cte_name] = binding
+
+
+def _build_delta_step_plan(state: CompilerState, cte: ast.IterativeCte,
+                           cte_name: str, binding: CteBinding,
+                           partition: str, columns: list[str],
+                           types: list) -> LogicalOp:
+    """The iterative part with its *anchor* scan rebound to the affected
+    partition.
+
+    The leftmost FROM leaf (the row being evolved — the safety analyzer
+    guaranteed it is the CTE) is replaced by a scan of the partition
+    result; every other CTE reference still reads the full CTE table, so
+    joins against it see all keys.  Common-result extraction is skipped:
+    the partition changes every iteration and the loop-invariant build
+    sides are already cached by the kernel cache.
+    """
+    delta_select = copy.deepcopy(cte.step)
+    source_name = f"__delta_src_{cte_name}"
+
+    def rebind(leaf: ast.TableRef) -> ast.TableRef:
+        return ast.TableRef(source_name, alias=leaf.binding_name)
+
+    node = delta_select.from_clause
+    if isinstance(node, ast.TableRef):
+        delta_select.from_clause = rebind(node)
+    else:
+        parent = node
+        while isinstance(parent.left, ast.Join):
+            parent = parent.left
+        parent.left = rebind(parent.left)
+
+    delta_context = state.context.child()
+    delta_context.cte_bindings[cte_name] = binding
+    delta_context.cte_bindings[source_name] = CteBinding(
+        partition, tuple(zip(columns, types)))
+    plan = build_statement(delta_select, delta_context)
+    return optimize_plan(plan, state.options, state.estimator,
+                        state.tracer)
 
 
 def _build_merge_plan(state: CompilerState, cte_name: str, cte_result: str,

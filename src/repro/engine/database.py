@@ -181,18 +181,29 @@ class Database:
             if not isinstance(statement, (ast.Select, ast.SetOp)):
                 raise ReproError("EXPLAIN ANALYZE supports only queries")
             program = self._compile(statement, tracer)
+            # Cost the program before running it so the iteration
+            # estimate does not see this very run's measurement.
+            cost_report = estimate_program(
+                program, self.statistics,
+                default_iterations=self.options.default_iteration_estimate)
             ctx = ExecutionContext(self.catalog, self.registry,
                                    self.options, self.stats,
                                    self.kernel_cache, tracer=tracer)
             runner = ProgramRunner(program, ctx, instrument=True)
             with tracer.span("execute", kind="phase"):
                 runner.run()
+        self._record_loop_measurements(runner)
         loops = [runner.loop_telemetry[key]
                  for key in sorted(runner.loop_telemetry)]
         self._last_trace = build_trace(
             tracer, loops=loops,
             metrics=self.stats.delta_since(stats_before), sql=sql_text)
-        return runner.report()
+        report = runner.report()
+        error_lines = self._iteration_error_lines(program, cost_report,
+                                                  runner)
+        if error_lines:
+            report += "\n" + "\n".join(error_lines)
+        return report
 
     def last_trace(self) -> Optional[Trace]:
         """The trace of the most recent traced statement (``None`` when
@@ -267,6 +278,33 @@ class Database:
         loops, self._trace_loops = self._trace_loops, []
         return loops
 
+    def _record_loop_measurements(self, runner: ProgramRunner) -> None:
+        """Feed observed iteration counts back into the statistics
+        catalog so subsequent cost estimates use measured convergence."""
+        for cte_name, count in runner.loop_iteration_counts().items():
+            self.statistics.record_loop_iterations(cte_name, count)
+
+    @staticmethod
+    def _iteration_error_lines(program: Program, cost_report,
+                               runner: ProgramRunner) -> list[str]:
+        """Estimated-vs-measured iteration lines for EXPLAIN ANALYZE."""
+        measured_by_cte = runner.loop_iteration_counts()
+        lines: list[str] = []
+        for estimate in cost_report.loop_estimates:
+            spec = program.loops.get(estimate.loop_id)
+            if spec is None:
+                continue
+            measured = measured_by_cte.get(spec.cte_name.lower())
+            if measured is None:
+                continue
+            error = (estimate.iterations - measured) / max(measured, 1)
+            lines.append(
+                f"loop {spec.cte_name}: estimated "
+                f"{estimate.iterations:.0f} iterations "
+                f"({estimate.basis}), measured {measured}, "
+                f"error {error:+.0%}")
+        return lines
+
     def _run_query(self, statement: ast.SelectLike,
                    tracer=NULL_TRACER) -> Table:
         program = self._compile(statement, tracer)
@@ -278,6 +316,7 @@ class Database:
         runner = ProgramRunner(program, ctx)
         with tracer.span("execute", kind="phase"):
             table = runner.run()
+        self._record_loop_measurements(runner)
         if tracer.enabled:
             self._trace_loops = [runner.loop_telemetry[key]
                                  for key in sorted(runner.loop_telemetry)]

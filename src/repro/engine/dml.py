@@ -15,7 +15,7 @@ from ..execution import ExecutionContext, Frame, evaluate, evaluate_predicate
 from ..execution.operators import execute_plan
 from ..plan import Field, LogicalTempScan, PlanContext, build_relation
 from ..sql import ast
-from ..storage import Column, Table
+from ..storage import Column, SegmentedTable, Table
 from ..types import SqlType
 
 
@@ -60,9 +60,16 @@ def execute_insert(stmt: ast.Insert, ctx: ExecutionContext,
 
     appended = Table.from_rows(table.schema, full_rows)
     ctx.kernel_cache.invalidate_table(table)
-    ctx.catalog.put(stmt.table, table.concat(appended)
-                    if table.num_rows else appended
-                    if full_rows else table)
+    if table.num_rows and full_rows:
+        # Append a segment in O(|inserted|) instead of copying the whole
+        # table; scans consolidate lazily.
+        segmented = SegmentedTable.wrap(table)
+        segmented.append(appended)
+        ctx.catalog.put(stmt.table, segmented)
+    elif full_rows:
+        ctx.catalog.put(stmt.table, appended)
+    else:
+        ctx.catalog.put(stmt.table, table)
     ctx.stats.lock_acquisitions += 1
     ctx.stats.rows_moved += len(full_rows)
     return len(full_rows)

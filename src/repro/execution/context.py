@@ -44,6 +44,12 @@ class ExecutionStats:
     merge_index_hits: int = 0
     merge_index_rebuilds: int = 0
     merge_index_overflows: int = 0
+    # Repack-on-overflow: the merge index rebuilt its bit packing with
+    # wider per-column widths instead of falling back to a full rescan.
+    merge_index_repacks: int = 0
+    # Iterations served by the semi-naive delta path (frontier-only
+    # recomputation) instead of a full working-table rebuild.
+    delta_iterations: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return dict(self.__dict__)
@@ -100,6 +106,13 @@ class SessionOptions:
     # within noise of the pre-tracing engine.  EXPLAIN ANALYZE always
     # traces regardless of this switch.
     enable_tracing: bool = False
+    # Semi-naive delta evaluation for ITERATIVE CTE loops: when the
+    # planner proves the step query evolves each key independently (the
+    # same per-key property behind Fig. 10 predicate pushdown), iterations
+    # after the first recompute only the frontier of changed rows and
+    # merge the delta back.  Bit-identical to full recomputation; off by
+    # default until the analyzer has seen wider production exposure.
+    enable_delta_iteration: bool = False
     # Safety cap for runaway iterative queries.
     max_iterations: int = 100_000
 

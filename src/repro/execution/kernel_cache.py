@@ -304,7 +304,11 @@ class KernelCache:
         return dropped
 
     def invalidate_table(self, table) -> int:
-        return self.invalidate_columns(table.columns)
+        # Segmented tables expose their backing columns without forcing a
+        # consolidation (invalidating a table must not copy it).
+        known = getattr(table, "known_columns", None)
+        columns = known() if known is not None else table.columns
+        return self.invalidate_columns(columns)
 
     def clear(self) -> None:
         self._dictionaries.clear()
@@ -376,8 +380,12 @@ class IncrementalDistinctIndex:
     (62 bits split evenly), so membership tests are a single vectorized
     binary search over a plain int64 array — structured dtypes compare
     element-at-a-time in numpy and are ~100x slower.  Because ids are
-    stable, the packed identity survives dictionary growth; if a
-    dictionary ever outgrows its bit budget, ``filter_new``/``absorb``
+    stable, the packed identity survives dictionary growth; when a
+    dictionary outgrows its bit budget the index *repacks*: it re-splits
+    the 62 bits according to each dictionary's actual size and rewrites
+    the seen set under the new widths (O(seen), once per exhaustion)
+    instead of abandoning incrementality.  Only when the dictionaries
+    genuinely need more than 62 bits combined do ``filter_new``/``absorb``
     return None and the caller falls back to re-encoding from scratch.
 
     The index absorbs each accepted delta, so per-iteration work is
@@ -388,20 +396,58 @@ class IncrementalDistinctIndex:
         if width <= 0:
             raise ValueError("IncrementalDistinctIndex needs >= 1 column")
         self._dictionaries = [_ValueDictionary() for _ in range(width)]
-        self._shift = 62 // width
-        self._capacity = 1 << self._shift
+        # Per-column bit widths; start with an even split of the budget.
+        self._shifts = [62 // width] * width
         self._seen = np.empty(0, dtype=np.int64)
         self.rows_absorbed = 0
+        self.repacks = 0
 
     def _pack(self, columns: Sequence[Column]) -> Optional[np.ndarray]:
+        all_ids = [dictionary.encode(column)
+                   for dictionary, column in zip(self._dictionaries,
+                                                 columns)]
+        if any(dictionary.next_id >= (1 << shift)
+               for dictionary, shift in zip(self._dictionaries,
+                                            self._shifts)):
+            if not self._repack():
+                return None  # >62 bits genuinely needed: caller rescans
         packed: Optional[np.ndarray] = None
-        for dictionary, column in zip(self._dictionaries, columns):
-            ids = dictionary.encode(column)
-            if dictionary.next_id >= self._capacity:
-                return None  # bit budget exhausted: caller must rescan
-            packed = ids if packed is None \
-                else (packed << self._shift) | ids
+        for ids, shift in zip(all_ids, self._shifts):
+            packed = ids if packed is None else (packed << shift) | ids
         return packed
+
+    def _repack(self) -> bool:
+        """Re-split the 62-bit budget by actual dictionary sizes.
+
+        Each column needs enough bits for its current ``next_id``; the
+        slack is spread round-robin as growth headroom.  The seen set is
+        unpacked under the old widths and repacked under the new ones —
+        per-column ids are stable, so row identities survive."""
+        required = [max(d.next_id.bit_length(), 1)
+                    for d in self._dictionaries]
+        if sum(required) > 62:
+            return False
+        shifts = list(required)
+        slack = 62 - sum(required)
+        for i in range(slack):
+            shifts[i % len(shifts)] += 1
+        old = self._shifts
+        if len(self._seen):
+            remaining = self._seen
+            parts = []
+            # Later columns occupy the low bits; peel them off in reverse.
+            for shift in reversed(old[1:]):
+                parts.append(remaining & ((1 << shift) - 1))
+                remaining = remaining >> shift
+            parts.append(remaining)
+            parts.reverse()
+            packed = parts[0]
+            for ids, shift in zip(parts[1:], shifts[1:]):
+                packed = (packed << shift) | ids
+            self._seen = np.sort(packed)
+        self._shifts = shifts
+        self.repacks += 1
+        return True
 
     def _insert(self, rows: np.ndarray) -> None:
         if not len(rows):

@@ -69,7 +69,9 @@ def _state_table(nodes: list[int]) -> Table:
 def distributed_pagerank(cluster: Cluster,
                          edges: list[tuple[int, int, float]],
                          iterations: int = 10,
-                         tracer=None) -> DistributedPageRankResult:
+                         tracer=None,
+                         delta_shuffle: bool = False) -> \
+        DistributedPageRankResult:
     """PageRank over ``edges`` executed segment by segment.
 
     Per iteration and per segment: join local src-distributed edges with
@@ -80,6 +82,12 @@ def distributed_pagerank(cluster: Cluster,
     ``tracer`` (a :class:`repro.obs.Tracer`) makes the loop emit one
     span per iteration; per-iteration motion and convergence telemetry
     is always collected on the returned result.
+
+    ``delta_shuffle`` applies the semi-naive idea at the exchange layer:
+    each origin segment remembers the last partial-contribution piece it
+    sent to every destination segment and skips the motion when the
+    piece is unchanged (the receiver reuses its copy).  Off by default
+    so the motion bill matches the naive exchange.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
     nodes = sorted({e[0] for e in edges} | {e[1] for e in edges})
@@ -98,6 +106,10 @@ def distributed_pagerank(cluster: Cluster,
     state = cluster.distribute(
         "pr_state", _state_table(nodes), Distribution.hashed("node"))
     cluster.motion.reset()
+
+    # Last piece sent along each (origin, destination) channel, for the
+    # delta-shuffle motion suppression.
+    sent_pieces: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
 
     telemetry = LoopTelemetry(loop_id=0, cte="pr_state", kind="mpp")
     loop_span = tracer.start("loop:pr_state", kind="loop",
@@ -135,6 +147,9 @@ def distributed_pagerank(cluster: Cluster,
                     continue
                 incoming[segment].append(piece)
                 if segment != origin:
+                    if delta_shuffle and _piece_unchanged(
+                            sent_pieces, (origin, segment), piece):
+                        continue
                     cluster.motion.rows_moved += piece.num_rows
                     cluster.motion.bytes_moved += piece.nbytes()
         cluster.motion.shuffles += 1
@@ -185,6 +200,19 @@ def distributed_pagerank(cluster: Cluster,
         shuffles=cluster.motion.shuffles,
         telemetry=telemetry,
     )
+
+
+def _piece_unchanged(sent: dict, channel: tuple[int, int],
+                     piece: Table) -> bool:
+    """True when ``piece`` equals the last piece sent on ``channel``;
+    records the piece either way."""
+    dst = piece.column("dst").data
+    contribution = piece.column("contribution").data
+    previous = sent.get(channel)
+    sent[channel] = (dst, contribution)
+    return (previous is not None
+            and np.array_equal(previous[0], dst)
+            and np.array_equal(previous[1], contribution))
 
 
 def _local_contributions(edge_part: Table, state_part: Table) -> Table:

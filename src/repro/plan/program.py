@@ -201,6 +201,105 @@ class RecursiveMergeStep(Step):
 
 
 @dataclass
+class DeltaSpec:
+    """Static description of a loop's semi-naive delta rewrite.
+
+    Emitted only when the safety analyzer (:mod:`repro.rewrite.delta`)
+    proves the step query evolves each key independently — the per-key
+    property behind Fig. 10 predicate pushdown.  ``influences`` lists the
+    equi-join links (cte ref, base table, src column, dst column) used to
+    expand the changed-row frontier into the affected key set.
+    """
+
+    loop_id: int
+    cte_name: str
+    cte_result: str
+    working: str
+    # Registry name the affected partition of the CTE table is stored
+    # under; the delta step plan's anchor scan is rebound to it.
+    partition: str
+    # Registry name the recomputed partition rows are stored under.
+    delta_working: str
+    key_column: str
+    columns: list[str]
+    # True when the original loop body merges the working table back by
+    # key (WHERE present); False for the whole-table rename/copy body.
+    merge_by_key: bool
+    # (base table, frontier-side column, affected-side column) per link.
+    influences: list[tuple[str, str, str]] = field(default_factory=list)
+
+
+@dataclass
+class DeltaGateStep(Step):
+    """Route one iteration down the delta or the full path.
+
+    Falls through into the delta block when the runtime is active and the
+    frontier is non-empty; jumps to ``jump_full`` (the original loop body)
+    when delta state is missing or invalid; jumps to ``jump_done`` (past
+    both bodies) when the frontier is empty — nothing can change, so the
+    iteration costs O(1).  Jump targets are patched after emission.
+    """
+
+    spec: DeltaSpec
+    jump_full: int = -1
+    jump_done: int = -1
+
+    def describe(self) -> str:
+        return (f"Delta gate for {self.spec.cte_name}: full body at step "
+                f"{self.jump_full + 1}, empty frontier to step "
+                f"{self.jump_done + 1}.")
+
+
+@dataclass
+class DeltaPartitionStep(Step):
+    """Materialize the affected partition of the CTE table.
+
+    Expands the frontier through the spec's influence links and gathers
+    the affected rows into the partition result the delta step plan scans.
+    """
+
+    spec: DeltaSpec
+
+    def describe(self) -> str:
+        return (f"Partition {self.spec.cte_result} to rows affected by "
+                f"the frontier as {self.spec.partition}")
+
+
+@dataclass
+class DeltaApplyStep(Step):
+    """Merge the recomputed partition back into the CTE table.
+
+    Scatters the delta-working rows over their key positions, derives the
+    next frontier from IS DISTINCT FROM change detection, and jumps to
+    ``jump_to`` (the loop increment), skipping the full body.
+    """
+
+    spec: DeltaSpec
+    jump_to: int = -1
+
+    def describe(self) -> str:
+        return (f"Apply {self.spec.delta_working} to "
+                f"{self.spec.cte_result}; go to step {self.jump_to + 1}.")
+
+
+@dataclass
+class DeltaCaptureStep(Step):
+    """Capture delta state after a full iteration of the loop body.
+
+    Validates the key column (unique, non-NULL), snapshots the CTE table's
+    columns, and computes the initial frontier against ``previous`` so the
+    next iteration can take the delta path.
+    """
+
+    spec: DeltaSpec
+    previous: str
+
+    def describe(self) -> str:
+        return (f"Capture delta frontier of {self.spec.cte_result} "
+                f"vs {self.previous}")
+
+
+@dataclass
 class ReturnStep(Step):
     """Evaluate the final query and return its result."""
 

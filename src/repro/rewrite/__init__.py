@@ -12,6 +12,7 @@ from .common_results import (
     extract_common_results,
     is_loop_invariant,
 )
+from .delta import DeltaSafety, analyze_iterative_delta
 from .expr_utils import conjoin, split_conjuncts
 from .folding import fold_expr, fold_plan_filters
 from .framework import apply_rules
@@ -27,6 +28,8 @@ __all__ = [
     "CommonBlock",
     "extract_common_results",
     "is_loop_invariant",
+    "DeltaSafety",
+    "analyze_iterative_delta",
     "conjoin",
     "split_conjuncts",
     "fold_expr",

@@ -302,7 +302,7 @@ class LoopEstimate:
 
     loop_id: int
     iterations: float
-    basis: str  # "exact" | "derived" | "heuristic"
+    basis: str  # "exact" | "measured" | "derived" | "heuristic"
 
 
 @dataclass
@@ -337,26 +337,29 @@ class ProgramCostReport:
 
 def estimate_iterations(spec: LoopSpec,
                         cte_rows: float,
-                        default_estimate: int = DEFAULT_ITERATION_ESTIMATE
-                        ) -> LoopEstimate:
+                        default_estimate: int = DEFAULT_ITERATION_ESTIMATE,
+                        measured: Optional[int] = None) -> LoopEstimate:
     """The paper's future-work item: an iteration-count estimate per
     termination family.
 
     * ITERATIONS — exact: the user wrote N.
     * UPDATES — derived: a full-dataset update changes up to |CTE| rows
       per iteration, so ceil(N / |CTE|) iterations reach the budget.
-    * DATA / DELTA / fixpoint — no closed form without executing; use the
-      session default (a pilot-run refinement hook is left open).
+    * DATA / DELTA / fixpoint — no closed form without executing; a
+      recorded measurement from a prior run of the same CTE (loop
+      telemetry feedback) beats the session default.
     """
     termination = spec.termination
+    if termination is not None \
+            and termination.kind is ast.TerminationKind.ITERATIONS:
+        return LoopEstimate(spec.loop_id, float(termination.count),
+                            "exact")
+    if measured is not None and measured > 0:
+        return LoopEstimate(spec.loop_id, float(measured), "measured")
     if termination is None:
         return LoopEstimate(spec.loop_id, float(default_estimate),
                             "heuristic")
-    kind = termination.kind
-    if kind is ast.TerminationKind.ITERATIONS:
-        return LoopEstimate(spec.loop_id, float(termination.count),
-                            "exact")
-    if kind is ast.TerminationKind.UPDATES:
+    if termination.kind is ast.TerminationKind.UPDATES:
         per_iteration = max(cte_rows, 1.0)
         iterations = math.ceil(termination.count / per_iteration)
         return LoopEstimate(spec.loop_id, float(max(iterations, 1)),
@@ -387,8 +390,10 @@ def estimate_program(program: Program, statistics: StatisticsCatalog,
             spec = program.loops[step.loop_id]
             cte_rows = estimator.temp_cardinalities.get(
                 spec.cte_result.lower(), 1000.0)
+            measured = statistics.measured_iterations(spec.cte_name)
             report.loop_estimates.append(
-                estimate_iterations(spec, cte_rows, default_iterations))
+                estimate_iterations(spec, cte_rows, default_iterations,
+                                    measured=measured))
             current_loop = None
             continue
         if isinstance(step, ReturnStep):

@@ -2,6 +2,7 @@
 
 from .catalog import Catalog, CatalogStats, ResultRegistry
 from .column import Column
+from .segmented import SegmentedTable
 from .table import ColumnSchema, Schema, Table, pretty_table
 
 __all__ = [
@@ -11,6 +12,7 @@ __all__ = [
     "Column",
     "ColumnSchema",
     "Schema",
+    "SegmentedTable",
     "Table",
     "pretty_table",
 ]

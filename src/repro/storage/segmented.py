@@ -1,0 +1,115 @@
+"""Chunked append-only tables.
+
+A :class:`SegmentedTable` stores its rows as a list of immutable segment
+tables so that the recursive fixpoint's per-iteration ``result ++ delta``
+concatenation appends one segment in O(|delta|) instead of copying the
+accumulated result.  Read paths that need contiguous columns (scans, join
+builds, aggregation) trigger a lazy one-shot consolidation; paths that only
+need metadata (``num_rows``, ``nbytes``, cache invalidation) are overridden
+to iterate segments without consolidating.
+"""
+
+from __future__ import annotations
+
+from ..errors import TypeCheckError
+from ..types import common_type
+from .column import Column
+from .table import ColumnSchema, Schema, Table
+
+
+class SegmentedTable(Table):
+    """A Table whose rows live in appended segments.
+
+    Deliberately does *not* call ``Table.__init__``: ``columns`` is a lazy
+    property here, and ``num_rows`` is answered from segment lengths so the
+    hot loop never pays for consolidation.  Any inherited method that reads
+    ``self.columns`` (take, filter, rows, ...) transparently consolidates
+    first and keeps full Table semantics.
+    """
+
+    def __init__(self, base: Table):
+        if isinstance(base, SegmentedTable):
+            self.schema = base.schema
+            self._segments = list(base._segments)
+            self._flat = base._flat
+        else:
+            self.schema = base.schema
+            self._segments = [base]
+            self._flat = base
+        # Counters for tests/telemetry: how often reads forced a rebuild
+        # and how many rows those rebuilds copied.
+        self.consolidations = 0
+        self.rows_consolidated = 0
+
+    @classmethod
+    def wrap(cls, table: Table) -> "SegmentedTable":
+        if isinstance(table, SegmentedTable):
+            return table
+        return cls(table)
+
+    # -- append-only write path --------------------------------------------
+
+    def append(self, delta: Table) -> None:
+        """Append ``delta`` as a new segment in O(|delta|).
+
+        The schema's column types are widened eagerly (cheap, metadata only)
+        so type queries never have to consolidate; the data itself is cast
+        lazily when a read path consolidates.
+        """
+        if len(delta.schema) != len(self.schema):
+            raise TypeCheckError(
+                f"append arity mismatch: {len(self.schema)} columns vs "
+                f"{len(delta.schema)}")
+        if delta.num_rows == 0:
+            return
+        self.schema = Schema(
+            tuple(ColumnSchema(s.name, common_type(s.sql_type, c.sql_type))
+                  for s, c in zip(self.schema.columns, delta.columns)),
+            self.schema.primary_key)
+        self._segments.append(delta)
+        self._flat = None
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    # -- metadata reads that must not consolidate --------------------------
+
+    @property
+    def num_rows(self) -> int:
+        return sum(seg.num_rows for seg in self._segments)
+
+    def nbytes(self) -> int:
+        return sum(seg.nbytes() for seg in self._segments)
+
+    def known_columns(self) -> list[Column]:
+        """Every Column object currently backing this table.
+
+        Cache invalidation needs the live column versions without forcing a
+        consolidation (invalidating a table should not copy it)."""
+        columns: list[Column] = []
+        for segment in self._segments:
+            columns.extend(segment.columns)
+        return columns
+
+    # -- consolidating read path -------------------------------------------
+
+    @property
+    def columns(self) -> list[Column]:
+        if self._flat is None:
+            self._consolidate()
+        return self._flat.columns
+
+    def _consolidate(self) -> None:
+        segments = self._segments
+        columns = []
+        for i, col_schema in enumerate(self.schema.columns):
+            merged = Column.concat_many([seg.columns[i] for seg in segments])
+            if merged.sql_type is not col_schema.sql_type:
+                merged = merged.cast(col_schema.sql_type)
+            columns.append(merged)
+        flat = Table(self.schema, columns)
+        self._flat = flat
+        self._segments = [flat]
+        self.consolidations += 1
+        self.rows_consolidated += flat.num_rows

@@ -146,6 +146,39 @@ class TestIterationEstimation:
         estimate = estimate_iterations(spec, 100.0)
         assert estimate.basis == "heuristic"
 
+    def test_measured_beats_heuristic(self):
+        termination = ast.Termination(
+            ast.TerminationKind.DATA_ANY,
+            expr=ast.BinaryOp(ast.BinaryOperator.GT,
+                              ast.ColumnRef("k"), ast.Literal(10)))
+        estimate = estimate_iterations(self._spec(termination), 100.0,
+                                       measured=17)
+        assert estimate.iterations == 17
+        assert estimate.basis == "measured"
+
+    def test_measured_beats_updates_derivation(self):
+        termination = ast.Termination(ast.TerminationKind.UPDATES,
+                                      count=1000)
+        estimate = estimate_iterations(self._spec(termination), 100.0,
+                                       measured=3)
+        assert estimate.iterations == 3
+        assert estimate.basis == "measured"
+
+    def test_measured_never_overrides_exact(self):
+        termination = ast.Termination(ast.TerminationKind.ITERATIONS,
+                                      count=25)
+        estimate = estimate_iterations(self._spec(termination), 100.0,
+                                       measured=7)
+        assert estimate.iterations == 25
+        assert estimate.basis == "exact"
+
+    def test_measured_fixpoint(self):
+        spec = LoopSpec(loop_id=0, termination=None, cte_result="r",
+                        cte_name="r", columns=["k"], until_empty="w")
+        estimate = estimate_iterations(spec, 100.0, measured=12)
+        assert estimate.iterations == 12
+        assert estimate.basis == "measured"
+
 
 class TestProgramCosting:
     def test_iterative_program_report(self, analyzed_db):

@@ -162,11 +162,40 @@ class TestIncrementalDistinctIndex:
         mask = index.filter_new(second, 3)
         assert mask.tolist() == [False, True, False]
 
-    def test_overflow_returns_none(self):
+    def test_budget_exhaustion_repacks_instead_of_rescanning(self):
         index = IncrementalDistinctIndex(1)
-        index._capacity = 4  # simulate a tiny per-column id budget
+        index._shifts = [2]  # simulate a tiny per-column id budget
         columns = [Column.from_values(SqlType.INTEGER, [1, 2, 3, 4, 5])]
-        assert index.filter_new(columns, 5) is None
+        mask = index.filter_new(columns, 5)
+        assert mask is not None and mask.tolist() == [True] * 5
+        assert index.repacks == 1
+        # Membership survives the repack: the same rows are now dupes.
+        again = index.filter_new(columns, 5)
+        assert again is not None and again.tolist() == [False] * 5
+        assert index.repacks == 1
+
+    def test_repack_preserves_multi_column_identities(self):
+        index = IncrementalDistinctIndex(2)
+        index._shifts = [2, 2]
+        first = [Column.from_values(SqlType.INTEGER, [1, 1, 2, 2]),
+                 Column.from_values(SqlType.INTEGER, [1, 2, 1, 2])]
+        assert index.filter_new(first, 4).tolist() == [True] * 4
+        wide = [Column.from_values(SqlType.INTEGER, list(range(10))),
+                Column.from_values(SqlType.INTEGER, [1] * 10)]
+        mask = index.filter_new(wide, 10)
+        assert index.repacks >= 1
+        # (1, 1) and (2, 1) were already seen before the repack.
+        assert mask.tolist() == [True, False, False] + [True] * 7
+
+    def test_overflow_returns_none_when_62_bits_not_enough(self):
+        width = 8
+        index = IncrementalDistinctIndex(width)
+        # 300 distinct ids per column require 8 columns x 9 bits = 72 > 62,
+        # so no repacking can help: the caller must rescan.
+        values = list(range(300))
+        columns = [Column.from_values(SqlType.INTEGER, values)
+                   for _ in range(width)]
+        assert index.filter_new(columns, len(values)) is None
 
     def test_absorb_then_filter(self):
         index = IncrementalDistinctIndex(2)

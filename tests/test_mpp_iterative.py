@@ -52,3 +52,30 @@ class TestDistributedPageRank:
         distributed = distributed_pagerank(Cluster(3), SMALL_EDGES,
                                            iterations=6).ranks
         assert distributed == pytest.approx(sql_ranks)
+
+
+class TestDeltaShuffle:
+    CHAIN = [(i, i + 1, 1.0) for i in range(1, 30)]
+
+    def test_identical_results(self):
+        naive = distributed_pagerank(Cluster(4), self.CHAIN, iterations=50)
+        delta = distributed_pagerank(Cluster(4), self.CHAIN, iterations=50,
+                                     delta_shuffle=True)
+        assert naive.ranks == delta.ranks
+
+    def test_motion_suppressed_once_the_chain_drains(self):
+        # Node 1 has no incoming edge, so a zero-delta wave advances one
+        # hop per iteration; once it reaches the chain's end every
+        # partial-contribution piece is a constant all-zeros array,
+        # which the delta shuffle recognizes and stops re-sending.
+        naive = distributed_pagerank(Cluster(4), self.CHAIN, iterations=50)
+        delta = distributed_pagerank(Cluster(4), self.CHAIN, iterations=50,
+                                     delta_shuffle=True)
+        assert delta.rows_moved < naive.rows_moved
+        drained = delta.telemetry.records[-1]
+        assert drained.rows_moved == 0
+
+    def test_default_keeps_the_naive_motion_bill(self):
+        naive = distributed_pagerank(Cluster(4), self.CHAIN, iterations=50)
+        again = distributed_pagerank(Cluster(4), self.CHAIN, iterations=50)
+        assert naive.rows_moved == again.rows_moved

@@ -226,15 +226,36 @@ class TestOverflowCounters:
         assert cache.join_index(columns) is None  # build attempt fails
         assert stats.join_index_overflows == 1
 
-    def test_merge_index_bit_budget_overflow_counted(self, db):
+    def test_merge_index_bit_budget_exhaustion_repacks(self, db):
         # 8 columns leave 62 // 8 = 7 bits (128 codes) per column in the
         # incremental distinct index; column `a` sees 201 distinct
-        # values, forcing the silent fallback to full re-encoding.
+        # values.  The seven constant columns only need 1 bit each, so
+        # the index repacks to wider widths for `a` and stays
+        # incremental — no full-rescan fallback.
         sql = """
         WITH RECURSIVE r (a, b, c, d, e, f, g, h) AS (
           SELECT 0, 0, 0, 0, 0, 0, 0, 0
           UNION
           SELECT a + 1, b, c, d, e, f, g, h FROM r WHERE a < 200
+        ) SELECT count(*) FROM r"""
+        report = db.explain_analyze(sql)
+        assert db.stats.merge_index_repacks >= 1
+        assert db.stats.merge_index_overflows == 0
+        match = re.search(r"merge index: .*repacks=(\d+)", report)
+        assert match and int(match.group(1)) >= 1
+        assert "overflows=0" in report
+
+    def test_merge_index_bit_budget_overflow_counted(self, db):
+        # All 8 columns grow together: 201 distinct values per column
+        # need 8 bits each, 8 x 8 = 64 > 62, so not even repacking can
+        # keep the packed identity in an int64 and the index falls back
+        # to full re-encoding.
+        sql = """
+        WITH RECURSIVE r (a, b, c, d, e, f, g, h) AS (
+          SELECT 0, 0, 0, 0, 0, 0, 0, 0
+          UNION
+          SELECT a + 1, b + 1, c + 1, d + 1, e + 1, f + 1, g + 1, h + 1
+          FROM r WHERE a < 200
         ) SELECT count(*) FROM r"""
         report = db.explain_analyze(sql)
         assert db.stats.merge_index_overflows >= 1

@@ -110,3 +110,37 @@ class TestAnalyzeStatement:
     def test_analyzed_tables_listing(self, graph_db):
         graph_db.execute("ANALYZE edges")
         assert graph_db.statistics.analyzed_tables() == ["edges"]
+
+
+class TestMeasuredIterations:
+    def test_record_and_read_back(self):
+        db = Database()
+        db.statistics.record_loop_iterations("MyCte", 14)
+        assert db.statistics.measured_iterations("mycte") == 14
+        assert db.statistics.measured_iterations("MYCTE") == 14
+
+    def test_unknown_cte_is_none(self):
+        db = Database()
+        assert db.statistics.measured_iterations("never_ran") is None
+
+    def test_zero_iterations_not_recorded(self):
+        db = Database()
+        db.statistics.record_loop_iterations("cte", 0)
+        assert db.statistics.measured_iterations("cte") is None
+
+    def test_latest_measurement_wins(self):
+        db = Database()
+        db.statistics.record_loop_iterations("cte", 5)
+        db.statistics.record_loop_iterations("cte", 9)
+        assert db.statistics.measured_iterations("cte") == 9
+
+    def test_query_runs_record_measurements(self):
+        db = Database()
+        db.create_table("t", [("k", SqlType.INTEGER)])
+        db.load_rows("t", [(1,), (2,)])
+        db.execute("""
+        WITH ITERATIVE r (k) AS (
+          SELECT k FROM t ITERATE SELECT k + 1 FROM r
+          UNTIL 6 ITERATIONS
+        ) SELECT k FROM r""")
+        assert db.statistics.measured_iterations("r") == 6
