@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Tier-1 combined smoke: the bench, observability and delta-evaluation
+# guards in one pytest invocation (< 30s).  Equivalent to running
+# check_bench_smoke.sh, check_obs_smoke.sh and check_delta_smoke.sh
+# back to back, minus two interpreter startups.
+#
+# Usage: scripts/check_all_smoke.sh [extra pytest args...]
+set -eu
+
+cd "$(dirname "$0")/.."
+PYTHONPATH=src exec python -m pytest \
+    -m "bench_smoke or obs_smoke or delta_smoke" -q "$@"

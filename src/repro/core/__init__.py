@@ -3,8 +3,10 @@
 * :mod:`repro.core.rewrite` — Algorithm 1: iterative CTE → step program.
 * :mod:`repro.core.recursive` — ANSI recursive CTEs (fixed point), with
   the aggregate restriction the paper motivates.
-* :mod:`repro.core.loop` — the loop operator's termination evaluation.
-* :mod:`repro.core.runner` — the program executor (rename/loop included).
+The loop operator's termination evaluation and the program executor
+moved to :mod:`repro.runtime` (the unified loop runtime);
+:mod:`repro.core.loop` and :mod:`repro.core.runner` re-export them for
+compatibility.
 """
 
 from .loop import LoopState, count_changed_rows, should_continue

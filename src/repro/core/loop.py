@@ -1,161 +1,10 @@
-"""Loop operator runtime: termination-condition evaluation (§VI-B).
+"""Compatibility shim: loop-condition evaluation moved to
+:mod:`repro.runtime.conditions` as part of the unified loop runtime."""
 
-The loop operator checks a single ``continue`` variable at the end of each
-iteration.  How that variable is computed depends on the termination
-family:
+from ..runtime.conditions import (  # noqa: F401
+    LoopState,
+    count_changed_rows,
+    should_continue,
+)
 
-* **Metadata** — an iteration counter (``N ITERATIONS``) or a cumulative
-  updated-row counter (``N UPDATES``).
-* **Data** — the count of CTE-table rows satisfying the user's SQL
-  expression (``UNTIL [ANY|ALL] expr``), evaluated exactly like
-  ``SELECT count(*) FROM cteTable WHERE expr``.
-* **Delta** — the number of rows changed by the current iteration relative
-  to the previous one (``UNTIL DELTA <op> N``).
-"""
-
-from __future__ import annotations
-
-from dataclasses import dataclass, field
-
-import numpy as np
-
-from ..errors import ExecutionError
-from ..execution import ExecutionContext, Frame, evaluate_predicate
-from ..plan.logical import Field
-from ..plan.program import LoopSpec
-from ..sql import ast
-from ..storage import Table
-
-
-@dataclass
-class LoopState:
-    """Mutable per-execution loop bookkeeping."""
-
-    spec: LoopSpec
-    iterations: int = 0
-    total_updates: int = 0
-    last_delta: int = 0
-
-    def record_updates(self, changed: int) -> None:
-        self.last_delta = changed
-        self.total_updates += changed
-
-
-def should_continue(state: LoopState, ctx: ExecutionContext) -> bool:
-    """Evaluate the loop's continue variable after an iteration."""
-    decision = _evaluate_continue(state, ctx)
-    tracer = ctx.tracer
-    if tracer.enabled:
-        tracer.event("loop_check", kind="loop_check",
-                     loop_id=state.spec.loop_id,
-                     iterations=state.iterations,
-                     last_delta=state.last_delta,
-                     total_updates=state.total_updates,
-                     decision="continue" if decision else "stop")
-    return decision
-
-
-def _evaluate_continue(state: LoopState, ctx: ExecutionContext) -> bool:
-    if state.spec.until_empty is not None:
-        # Fixed-point loop (recursive CTE): run while new rows appear.
-        working = ctx.registry.fetch(state.spec.until_empty)
-        return working.num_rows > 0
-    termination = state.spec.termination
-    kind = termination.kind
-
-    if kind is ast.TerminationKind.ITERATIONS:
-        return state.iterations < termination.count
-    if kind is ast.TerminationKind.UPDATES:
-        return state.total_updates < termination.count
-    if kind is ast.TerminationKind.DELTA:
-        return not _compare(state.last_delta, termination.comparator,
-                            termination.count)
-    # Data conditions: count satisfying rows in the CTE table.
-    table = ctx.registry.fetch(state.spec.cte_result)
-    satisfied = _count_satisfying(table, state.spec, termination.expr)
-    if kind is ast.TerminationKind.DATA_ANY:
-        return satisfied == 0
-    if kind is ast.TerminationKind.DATA_ALL:
-        return satisfied < table.num_rows
-    raise ExecutionError(f"unknown termination kind: {kind}")
-
-
-def _compare(value: int, comparator: str, target: int) -> bool:
-    if comparator == "=":
-        return value == target
-    if comparator == "<":
-        return value < target
-    if comparator == "<=":
-        return value <= target
-    if comparator == ">":
-        return value > target
-    if comparator == ">=":
-        return value >= target
-    raise ExecutionError(f"unknown DELTA comparator: {comparator!r}")
-
-
-def _count_satisfying(table: Table, spec: LoopSpec,
-                      expr: ast.Expr) -> int:
-    fields = tuple(
-        Field(spec.cte_name.lower(), name.lower(), column.sql_type)
-        for name, column in zip(spec.columns, table.columns))
-    frame = Frame(fields, table.columns, table.num_rows)
-    keep = evaluate_predicate(expr, frame)
-    return int(keep.sum())
-
-
-def count_changed_rows(previous: Table, current: Table,
-                       key_index: int, cache=None) -> int:
-    """Rows of ``current`` whose non-key values differ from ``previous``.
-
-    Rows are aligned by the key column; rows whose key is new (not present
-    in ``previous``) count as changed.  NULL-to-NULL is *not* a change
-    (IS DISTINCT FROM semantics).
-
-    With a kernel cache, the current key's dictionary (already memoized
-    by this iteration's duplicate check) is reused and the previous key
-    is probed against it, instead of concatenating and re-encoding
-    previous+current from scratch.  Keys present only in ``previous``
-    encode as -1, which is exactly right: they pair with nothing, and
-    only unmatched *current* rows count as changes.
-    """
-    from ..execution.kernel_cache import probe_dictionary
-    from ..execution.kernels import encode_keys, equi_join_pairs
-    from ..types import common_type
-
-    if previous.num_rows == 0:
-        return current.num_rows
-    prev_key = previous.columns[key_index]
-    cur_key = current.columns[key_index]
-    target = common_type(cur_key.sql_type, prev_key.sql_type)
-    if cache is not None and cur_key.sql_type is target \
-            and prev_key.sql_type is target:
-        dictionary = cache.dictionary(cur_key)
-        cur_codes = dictionary.codes
-        prev_codes = probe_dictionary(dictionary, prev_key)
-    else:
-        joint = cur_key.concat(prev_key)
-        codes = encode_keys([joint], nulls_match=False)
-        cur_codes = codes[:current.num_rows]
-        prev_codes = codes[current.num_rows:]
-    cur_idx, prev_idx = equi_join_pairs(cur_codes, prev_codes)
-
-    matched = np.zeros(current.num_rows, dtype=np.bool_)
-    matched[cur_idx] = True
-    changed = int((~matched).sum())  # new keys count as changes
-
-    if len(cur_idx):
-        differs = np.zeros(len(cur_idx), dtype=np.bool_)
-        for i, (cur_col, prev_col) in enumerate(
-                zip(current.columns, previous.columns)):
-            if i == key_index:
-                continue
-            pair_cur = cur_col.take(cur_idx)
-            pair_prev = prev_col.take(prev_idx)
-            differs |= pair_cur.is_distinct_from(pair_prev)
-        # A key matched by several previous rows would be double counted;
-        # collapse to per-current-row "any pairing differs".
-        per_row = np.zeros(current.num_rows, dtype=np.bool_)
-        np.logical_or.at(per_row, cur_idx, differs)
-        changed += int(per_row.sum())
-    return changed
+__all__ = ["LoopState", "count_changed_rows", "should_continue"]

@@ -209,7 +209,9 @@ def _emit_iterative(cte: ast.IterativeCte, state: CompilerState,
         ast.TerminationKind.UPDATES, ast.TerminationKind.DELTA)
     spec = LoopSpec(loop_id=loop_id, termination=cte.termination,
                     cte_result=cte_result, cte_name=cte_name,
-                    columns=columns)
+                    columns=columns,
+                    movement=("rename" if options.enable_rename
+                              else "copy"))
     state.loops[loop_id] = spec
 
     # -- semi-naive delta rewrite (when provably per-key independent) ------
@@ -225,7 +227,9 @@ def _emit_iterative(cte: ast.IterativeCte, state: CompilerState,
                 working=working, partition=partition,
                 delta_working=delta_working, key_column=key_column,
                 columns=columns, merge_by_key=has_where,
-                influences=list(safety.influences))
+                influences=list(safety.influences),
+                guard_keyset=safety.guard_keyset)
+            spec.delta = delta_spec
             delta_plan = _build_delta_step_plan(
                 state, cte, cte_name, binding, partition, columns, types)
 
@@ -253,6 +257,7 @@ def _emit_iterative(cte: ast.IterativeCte, state: CompilerState,
         # Delta capture always needs the previous iteration to diff
         # against, even when the termination condition does not.
         gate.jump_full = len(steps)
+        apply_step.jump_full = gate.jump_full
         steps.append(SnapshotStep(cte_result, previous))
     elif needs_update_count:
         steps.append(SnapshotStep(cte_result, previous))

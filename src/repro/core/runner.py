@@ -1,826 +1,16 @@
-"""Program executor: runs step programs with a program counter.
+"""Compatibility shim: the program executor moved to
+:mod:`repro.runtime` — the step interpreter lives in
+:mod:`repro.runtime.interpreter`, the step handlers in
+:mod:`repro.runtime.handlers`, and loop control in
+:mod:`repro.runtime.loop_engine`."""
 
-This is the engine-side half of the paper's execution-engine changes
-(§VI): materialize steps run ordinary plans; the *rename* step updates the
-intermediate-result lookup table; the *loop* step evaluates the
-termination condition and conditionally jumps backwards.
-"""
-
-from __future__ import annotations
-
-import time
-from dataclasses import dataclass, field
-from typing import Optional
-
-from ..errors import DuplicateKeyError, ExecutionError, IterationLimitError
-from ..execution import ExecutionContext, execute_to_table
-from ..execution.kernels import factorize
-from ..obs.telemetry import (
-    IterationRecord,
-    LoopTelemetry,
-    render_iteration_table,
+from ..runtime.handlers.delta import _expand_ranges  # noqa: F401
+from ..runtime.handlers.merge import _merge_rescan  # noqa: F401
+from ..runtime.interpreter import (  # noqa: F401
+    ProgramRunner,
+    StepProfile,
+    run_program,
 )
-from ..sql import ast
-from ..plan.program import (
-    CopyStep,
-    CountUpdatesStep,
-    DeltaApplyStep,
-    DeltaCaptureStep,
-    DeltaGateStep,
-    DeltaPartitionStep,
-    DeltaSpec,
-    DropStep,
-    DuplicateCheckStep,
-    IncrementLoopStep,
-    InitLoopStep,
-    LoopStep,
-    MaterializeStep,
-    Program,
-    RecursiveMergeStep,
-    RenameStep,
-    ReturnStep,
-    SnapshotStep,
-    Step,
-)
-from ..storage import SegmentedTable, Table
-from .loop import LoopState, count_changed_rows, should_continue
+from ..runtime.strategies import DeltaLoopRuntime as _DeltaRuntime  # noqa: F401
 
-
-class _DeltaRuntime:
-    """Mutable per-loop state for the semi-naive delta path.
-
-    Created by the first :class:`DeltaGateStep` execution, populated by
-    :class:`DeltaCaptureStep` after a full iteration, consumed and updated
-    by the partition/apply steps on every delta iteration.
-    """
-
-    __slots__ = ("spec", "active", "disabled", "schema", "columns",
-                 "key_sorted", "key_positions", "in_working",
-                 "frontier_keys", "last_frontier", "pending_positions",
-                 "link_indexes")
-
-    def __init__(self, spec: DeltaSpec):
-        self.spec = spec
-        # Delta state captured and valid: the gate may take the delta path.
-        self.active = False
-        # Permanently off for this run (key validation failed).
-        self.disabled = False
-        self.schema = None
-        # Column objects of the current CTE table (shared, immutable).
-        self.columns: list = []
-        # Sorted comparable key values + the row position of each.
-        self.key_sorted = None
-        self.key_positions = None
-        # Merge path only: per-row "key was in last iteration's working
-        # table" flags, which drive the merge join's row ordering.
-        self.in_working = None
-        # Comparable key values changed by the last iteration.
-        self.frontier_keys = None
-        self.last_frontier = 0
-        # Row positions gathered by the pending partition step.
-        self.pending_positions = None
-        # (table, src, dst) -> (sorted src values, dst values in that
-        # order) for frontier expansion through base tables.
-        self.link_indexes: dict = {}
-
-
-@dataclass
-class StepProfile:
-    """Accumulated runtime of one program step (EXPLAIN ANALYZE)."""
-
-    executions: int = 0
-    rows: int = 0
-    seconds: float = 0.0
-
-
-class ProgramRunner:
-    """Executes one program against an execution context.
-
-    Instrumentation (per-step profiles, the stats snapshot backing the
-    cache report, and per-iteration loop telemetry) is reset explicitly
-    at the start of every :meth:`run` call, so a runner reused for
-    back-to-back runs — or an EXPLAIN ANALYZE issued after
-    ``ExecutionStats.reset()`` — reports exactly one run, never a
-    double-counted accumulation.
-    """
-
-    def __init__(self, program: Program, ctx: ExecutionContext,
-                 instrument: bool = False):
-        self._program = program
-        self._ctx = ctx
-        self._loop_states: dict[int, LoopState] = {}
-        self._result: Optional[Table] = None
-        self._instrument = instrument
-        self.profiles: dict[int, StepProfile] = {}
-        # Per-loop iteration records (repro.obs), keyed by loop id.
-        self.loop_telemetry: dict[int, LoopTelemetry] = {}
-        # Incremental UNION DISTINCT state, one per recursive result name,
-        # carried across the iterations of this program run.
-        self._merge_indexes: dict[str, tuple[tuple, object]] = {}
-        # Semi-naive delta evaluation state, one per delta-rewritten loop.
-        self._delta_runtimes: dict[int, _DeltaRuntime] = {}
-        self._stats_at_start: Optional[dict[str, int]] = None
-        # loop_id -> (perf_counter mark, stats snapshot) at iteration start.
-        self._iter_marks: dict[int, tuple[float, dict[str, int]]] = {}
-        # loop_id -> [loop span, current iteration span] while tracing.
-        self._loop_spans: dict[int, list] = {}
-
-    def _begin_run(self, observe: bool) -> None:
-        """Reset all instrumentation state for exactly one run."""
-        self.profiles = {}
-        self.loop_telemetry = {}
-        self._iter_marks = {}
-        self._loop_spans = {}
-        self._delta_runtimes = {}
-        self._result = None
-        self._stats_at_start = (self._ctx.stats.snapshot() if observe
-                                else None)
-
-    def run(self) -> Optional[Table]:
-        ctx = self._ctx
-        tracer = ctx.tracer
-        observe = self._instrument or tracer.enabled
-        self._begin_run(observe)
-        pc = 0
-        safety_budget = ctx.options.max_iterations
-        steps = self._program.steps
-        try:
-            while pc < len(steps):
-                if observe:
-                    jump = self._run_observed_step(pc, steps[pc], tracer)
-                else:
-                    jump = self._run_step(steps[pc])
-                if jump is not None:
-                    if jump <= pc:
-                        # Only backward jumps (new iterations) consume the
-                        # budget; the delta gate's forward jumps within one
-                        # iteration do not.
-                        safety_budget -= 1
-                        if safety_budget <= 0:
-                            raise IterationLimitError(
-                                "iterative query exceeded max_iterations "
-                                f"({ctx.options.max_iterations}); raise "
-                                "the session option if this is "
-                                "intentional")
-                    pc = jump
-                else:
-                    pc += 1
-        finally:
-            # Close spans a raising step left open so the trace tree
-            # stays well formed.
-            for spans in list(self._loop_spans.values()):
-                tracer.end(spans[1])
-                tracer.end(spans[0])
-            self._loop_spans = {}
-        return self._result
-
-    def _run_observed_step(self, pc: int, step: Step,
-                           tracer) -> Optional[int]:
-        """One step with profiling, span emission, and loop telemetry."""
-        started = time.perf_counter()
-        before = self._ctx.stats.rows_materialized
-        span = None
-        if tracer.enabled:
-            span = tracer.start(type(step).__name__, kind="step",
-                                index=pc + 1, detail=step.describe())
-        try:
-            jump = self._run_step(step)
-        finally:
-            if span is not None:
-                tracer.end(span)
-        profile = self.profiles.setdefault(pc, StepProfile())
-        profile.executions += 1
-        profile.seconds += time.perf_counter() - started
-        profile.rows += self._ctx.stats.rows_materialized - before
-        if isinstance(step, InitLoopStep):
-            self._begin_loop(step.spec, tracer)
-        elif isinstance(step, LoopStep):
-            self._finish_iteration(step.loop_id, jump is not None, tracer)
-        return jump
-
-    # -- loop telemetry ------------------------------------------------------
-
-    def _begin_loop(self, spec, tracer) -> None:
-        kind = "fixpoint" if spec.until_empty is not None else "iterative"
-        self.loop_telemetry[spec.loop_id] = LoopTelemetry(
-            spec.loop_id, spec.cte_name, kind)
-        self._iter_marks[spec.loop_id] = (time.perf_counter(),
-                                          self._ctx.stats.snapshot())
-        if tracer.enabled:
-            loop_span = tracer.start(f"loop:{spec.cte_name}", kind="loop",
-                                     loop_id=spec.loop_id, loop_kind=kind)
-            iter_span = tracer.start("iteration", kind="iteration",
-                                     index=1)
-            self._loop_spans[spec.loop_id] = [loop_span, iter_span]
-
-    def _registry_rows(self, name: Optional[str]) -> int:
-        registry = self._ctx.registry
-        if name is None or not registry.exists(name):
-            return 0
-        return registry.fetch(name).num_rows
-
-    def _finish_iteration(self, loop_id: int, continuing: bool,
-                          tracer) -> None:
-        telemetry = self.loop_telemetry.get(loop_id)
-        if telemetry is None:
-            return
-        now = time.perf_counter()
-        snapshot = self._ctx.stats.snapshot()
-        mark_time, mark_stats = self._iter_marks[loop_id]
-        delta = {key: snapshot[key] - mark_stats.get(key, 0)
-                 for key in snapshot}
-        spec = self._program.loops[loop_id]
-        state = self._loop_states.get(loop_id)
-        total_rows = self._registry_rows(spec.cte_result)
-        if spec.until_empty is not None:
-            # Fixpoint loop: the working table holds the new rows.
-            working_rows = self._registry_rows(spec.until_empty)
-            delta_rows = working_rows
-        else:
-            working_rows = total_rows
-            counts_updates = (spec.termination is not None
-                              and spec.termination.kind in (
-                                  ast.TerminationKind.UPDATES,
-                                  ast.TerminationKind.DELTA))
-            runtime = self._delta_runtimes.get(loop_id)
-            if runtime is not None and runtime.active \
-                    and not runtime.disabled:
-                # Delta-mode loop: report the true changed-row frontier,
-                # whatever the termination condition counts.
-                delta_rows = runtime.last_frontier
-            elif counts_updates and state is not None:
-                delta_rows = state.last_delta
-            else:
-                # Full-refresh loop (e.g. PageRank): every row rewritten.
-                delta_rows = total_rows
-        record = IterationRecord(
-            index=telemetry.iterations + 1,
-            seconds=now - mark_time,
-            delta_rows=delta_rows,
-            working_rows=working_rows,
-            total_rows=total_rows,
-            kernel_cache_hits=(delta["kernel_cache_hits"]
-                               + delta["join_index_hits"]
-                               + delta["merge_index_hits"]),
-            kernel_cache_misses=(delta["kernel_cache_misses"]
-                                 + delta["join_index_misses"]
-                                 + delta["merge_index_rebuilds"]),
-            rows_moved=delta["rows_moved"],
-            bytes_moved=delta["bytes_moved"])
-        telemetry.records.append(record)
-        self._iter_marks[loop_id] = (now, snapshot)
-        spans = self._loop_spans.get(loop_id)
-        if spans is not None:
-            loop_span, iter_span = spans
-            iter_span.set(**record.to_dict())
-            tracer.end(iter_span)
-            if continuing:
-                spans[1] = tracer.start("iteration", kind="iteration",
-                                        index=telemetry.iterations + 1)
-            else:
-                loop_span.set(iterations=telemetry.iterations)
-                tracer.end(loop_span)
-                del self._loop_spans[loop_id]
-
-    # -- reporting -----------------------------------------------------------
-
-    def report(self) -> str:
-        """Render the program with measured per-step counters, the
-        kernel-cache counter deltas, and a per-iteration breakdown for
-        every loop the run executed."""
-        lines = []
-        for index, step in enumerate(self._program.steps):
-            profile = self.profiles.get(index, StepProfile())
-            timing = (f"(executions={profile.executions}, "
-                      f"rows={profile.rows}, "
-                      f"time={profile.seconds * 1000:.2f}ms)")
-            lines.append(f"{index + 1:>3}  {step.describe()}  {timing}")
-            if isinstance(step, LoopStep):
-                spec = self._program.loops[step.loop_id]
-                lines.append(f"     loop {spec.annotation()}")
-        lines.extend(self._cache_report())
-        for loop_id in sorted(self.loop_telemetry):
-            lines.extend(render_iteration_table(
-                self.loop_telemetry[loop_id]))
-        return "\n".join(lines)
-
-    def _cache_report(self) -> list[str]:
-        """Kernel-cache counter deltas for this run (EXPLAIN ANALYZE)."""
-        if self._stats_at_start is None:
-            return []
-        delta = self._ctx.stats.delta_since(self._stats_at_start)
-        state = ("on" if self._ctx.options.enable_kernel_cache else "off")
-        return [
-            f"kernel cache ({state}): "
-            f"hits={delta['kernel_cache_hits']}, "
-            f"misses={delta['kernel_cache_misses']}, "
-            f"invalidations={delta['kernel_cache_invalidations']}",
-            f"join index: hits={delta['join_index_hits']}, "
-            f"misses={delta['join_index_misses']}, "
-            f"overflows={delta['join_index_overflows']}",
-            f"merge index: hits={delta['merge_index_hits']}, "
-            f"rebuilds={delta['merge_index_rebuilds']}, "
-            f"overflows={delta['merge_index_overflows']}, "
-            f"repacks={delta['merge_index_repacks']}",
-        ]
-
-    def loop_iteration_counts(self) -> dict[str, int]:
-        """Measured iteration count per CTE name from the last run.
-
-        Feeds the cost model's measured-iterations registry (see
-        :meth:`repro.stats.StatisticsCatalog.record_loop_iterations`)."""
-        counts: dict[str, int] = {}
-        for loop_id, state in self._loop_states.items():
-            spec = self._program.loops.get(loop_id)
-            if spec is not None and state.iterations:
-                counts[spec.cte_name] = state.iterations
-        return counts
-
-    # -- step dispatch -------------------------------------------------------
-
-    def _run_step(self, step: Step) -> Optional[int]:
-        ctx = self._ctx
-
-        if isinstance(step, MaterializeStep):
-            table = execute_to_table(step.plan, ctx, step.column_names)
-            ctx.registry.store(step.result_name, table)
-            return None
-
-        if isinstance(step, RenameStep):
-            ctx.registry.rename(step.source, step.target)
-            ctx.stats.renames += 1
-            return None
-
-        if isinstance(step, CopyStep):
-            source = ctx.registry.fetch(step.source)
-            # A physical copy: every column buffer is duplicated, so the
-            # cost of moving the data is actually paid (the Fig. 8
-            # baseline) — vectorized, as a real engine's block copy is.
-            from ..storage import Column
-            copied_columns = [
-                Column(c.sql_type, c.data.copy(), c.mask.copy())
-                for c in source.columns]
-            copied = Table(source.schema, copied_columns)
-            ctx.registry.store(step.target, copied)
-            ctx.registry.drop(step.source)
-            ctx.stats.rows_moved += copied.num_rows
-            ctx.stats.bytes_moved += copied.nbytes()
-            return None
-
-        if isinstance(step, SnapshotStep):
-            snapshot = ctx.registry.fetch(step.source).copy()
-            ctx.registry.store(step.target, snapshot)
-            return None
-
-        if isinstance(step, DuplicateCheckStep):
-            table = ctx.registry.fetch(step.result_name)
-            key = table.column(step.key_column)
-            codes, cardinality = factorize(key, nulls_match=True,
-                                           cache=ctx.active_kernel_cache())
-            if len(codes) and cardinality < len(codes):
-                raise DuplicateKeyError(
-                    "the iterative part produced duplicate values for key "
-                    f"{step.key_column!r}; add an aggregation to resolve "
-                    "them (paper §II)")
-            return None
-
-        if isinstance(step, CountUpdatesStep):
-            previous = ctx.registry.fetch(step.previous)
-            current = ctx.registry.fetch(step.current)
-            key_index = current.schema.index_of(step.key_column)
-            changed = count_changed_rows(previous, current, key_index,
-                                         ctx.active_kernel_cache())
-            self._loop_states[step.loop_id].record_updates(changed)
-            return None
-
-        if isinstance(step, InitLoopStep):
-            self._loop_states[step.spec.loop_id] = LoopState(step.spec)
-            return None
-
-        if isinstance(step, IncrementLoopStep):
-            self._loop_states[step.loop_id].iterations += 1
-            ctx.stats.iterations += 1
-            return None
-
-        if isinstance(step, LoopStep):
-            state = self._loop_states.get(step.loop_id)
-            if state is None:
-                raise ExecutionError(
-                    "loop step executed before initialization")
-            if should_continue(state, ctx):
-                return step.jump_to
-            return None
-
-        if isinstance(step, RecursiveMergeStep):
-            self._run_recursive_merge(step)
-            return None
-
-        if isinstance(step, DeltaGateStep):
-            return self._run_delta_gate(step)
-
-        if isinstance(step, DeltaPartitionStep):
-            self._run_delta_partition(step.spec)
-            return None
-
-        if isinstance(step, DeltaApplyStep):
-            return self._run_delta_apply(step)
-
-        if isinstance(step, DeltaCaptureStep):
-            self._run_delta_capture(step)
-            return None
-
-        if isinstance(step, ReturnStep):
-            self._result = execute_to_table(step.plan, ctx)
-            return None
-
-        if isinstance(step, DropStep):
-            for name in step.names:
-                ctx.registry.drop(name)
-            return None
-
-        raise ExecutionError(f"unknown step type: {type(step).__name__}")
-
-    # -- semi-naive delta evaluation ----------------------------------------
-
-    def _delta_counts_updates(self, loop_id: int) -> bool:
-        spec = self._program.loops[loop_id]
-        return spec.termination is not None and spec.termination.kind in (
-            ast.TerminationKind.UPDATES, ast.TerminationKind.DELTA)
-
-    def _run_delta_gate(self, step: DeltaGateStep) -> Optional[int]:
-        runtime = self._delta_runtimes.get(step.spec.loop_id)
-        if runtime is None:
-            runtime = _DeltaRuntime(step.spec)
-            self._delta_runtimes[step.spec.loop_id] = runtime
-        if runtime.disabled or not runtime.active:
-            return step.jump_full
-        if runtime.frontier_keys is None or not len(runtime.frontier_keys):
-            # Empty frontier: no input of any key changed last iteration,
-            # so no output can change this iteration (or ever after) —
-            # this iteration costs O(1).
-            runtime.last_frontier = 0
-            if self._delta_counts_updates(step.spec.loop_id):
-                self._loop_states[step.spec.loop_id].record_updates(0)
-            self._ctx.stats.delta_iterations += 1
-            return step.jump_done
-        return None
-
-    def _key_positions_of(self, runtime: _DeltaRuntime, keys,
-                          strict: bool):
-        """Row positions of comparable ``keys`` in the CTE table."""
-        import numpy as np
-
-        if not len(keys):
-            return np.empty(0, dtype=np.int64)
-        haystack = runtime.key_sorted
-        positions = np.searchsorted(haystack, keys)
-        inside = positions < len(haystack)
-        clipped = np.where(inside, positions, 0)
-        found = inside & (haystack[clipped] == keys)
-        if strict and not found.all():
-            raise ExecutionError(
-                "delta evaluation lost track of a CTE key; this is a bug "
-                "in the delta safety analysis")
-        return runtime.key_positions[clipped[found]]
-
-    def _expand_influence(self, runtime: _DeltaRuntime,
-                          link: tuple[str, str, str], frontier):
-        """Keys influenced by ``frontier`` through one base-table link."""
-        import numpy as np
-
-        from ..execution.kernel_cache import _comparable_values
-
-        entry = runtime.link_indexes.get(link)
-        if entry is None:
-            table_name, src_name, dst_name = link
-            base = self._ctx.catalog.get(table_name)
-            src = base.column(src_name)
-            dst = base.column(dst_name)
-            # A NULL on either side of an equi join never matches.
-            valid = ~(src.mask | dst.mask)
-            src_values = _comparable_values(src.data[valid])
-            dst_values = _comparable_values(dst.data[valid])
-            order = np.argsort(src_values, kind="stable")
-            entry = (src_values[order], dst_values[order])
-            runtime.link_indexes[link] = entry
-        src_sorted, dst_by_src = entry
-        left = np.searchsorted(src_sorted, frontier, side="left")
-        right = np.searchsorted(src_sorted, frontier, side="right")
-        return dst_by_src[_expand_ranges(left, right)]
-
-    def _run_delta_partition(self, spec: DeltaSpec) -> None:
-        import numpy as np
-
-        ctx = self._ctx
-        runtime = self._delta_runtimes[spec.loop_id]
-        frontier = runtime.frontier_keys
-        # A changed key always influences itself (its own row is
-        # recomputed); links add the keys reachable through base tables.
-        position_sets = [self._key_positions_of(runtime, frontier,
-                                                strict=True)]
-        for link in spec.influences:
-            influenced = self._expand_influence(runtime, link, frontier)
-            position_sets.append(
-                self._key_positions_of(runtime, influenced, strict=False))
-        positions = np.unique(np.concatenate(position_sets))
-        table = ctx.registry.fetch(spec.cte_result)
-        partition = table.take(positions)
-        ctx.registry.store(spec.partition, partition)
-        runtime.pending_positions = positions
-        ctx.stats.rows_moved += int(len(positions))
-        ctx.stats.bytes_moved += partition.nbytes()
-
-    def _run_delta_apply(self, step: DeltaApplyStep) -> int:
-        import numpy as np
-
-        from ..execution.kernel_cache import _comparable_values
-        from ..storage import Column
-
-        ctx = self._ctx
-        spec = step.spec
-        runtime = self._delta_runtimes[spec.loop_id]
-        working = ctx.registry.fetch(spec.delta_working)
-        w_keys = _comparable_values(working.columns[0].data)
-        positions = self._key_positions_of(runtime, w_keys, strict=True)
-
-        changed = np.zeros(working.num_rows, dtype=np.bool_)
-        new_columns = list(runtime.columns)
-        for i in range(1, len(new_columns)):
-            old = runtime.columns[i]
-            new_col = working.columns[i]
-            if new_col.sql_type is not old.sql_type:
-                new_col = new_col.cast(old.sql_type)
-            col_changed = old.take(positions).is_distinct_from(new_col)
-            changed |= col_changed
-            if not col_changed.any():
-                # Unchanged column: keep the old object so its version —
-                # and any kernel-cache state keyed by it — survives.
-                continue
-            data = old.data.copy()
-            mask = old.mask.copy()
-            data[positions] = new_col.data
-            mask[positions] = new_col.mask
-            new_columns[i] = Column(old.sql_type, data, mask)
-        ctx.stats.rows_moved += working.num_rows
-        ctx.stats.bytes_moved += working.nbytes()
-
-        runtime.frontier_keys = w_keys[changed]
-        runtime.last_frontier = int(changed.sum())
-
-        if spec.merge_by_key:
-            # The full body's merge join emits matched (working) rows
-            # first, then the rest; replicate that reordering from the
-            # membership flags so delta iterations stay bit-identical.
-            in_working = runtime.in_working.copy()
-            in_working[runtime.pending_positions] = False
-            in_working[positions] = True
-            perm = np.concatenate([np.flatnonzero(in_working),
-                                   np.flatnonzero(~in_working)])
-            if not np.array_equal(perm,
-                                  np.arange(len(perm), dtype=perm.dtype)):
-                new_columns = [c.take(perm) for c in new_columns]
-                in_working = in_working[perm]
-                self._set_key_index(runtime, new_columns[0])
-                ctx.stats.rows_moved += int(len(perm))
-            runtime.in_working = in_working
-
-        new_table = Table(runtime.schema, new_columns)
-        ctx.registry.store(spec.cte_result, new_table)
-        runtime.columns = new_columns
-        runtime.pending_positions = None
-        if self._delta_counts_updates(spec.loop_id):
-            self._loop_states[spec.loop_id].record_updates(
-                runtime.last_frontier)
-        ctx.stats.delta_iterations += 1
-        return step.jump_to
-
-    def _set_key_index(self, runtime: _DeltaRuntime, key_column) -> None:
-        import numpy as np
-
-        from ..execution.kernel_cache import _comparable_values
-
-        values = _comparable_values(key_column.data)
-        order = np.argsort(values, kind="stable")
-        runtime.key_sorted = values[order]
-        runtime.key_positions = order.astype(np.int64)
-
-    def _run_delta_capture(self, step: DeltaCaptureStep) -> None:
-        import numpy as np
-
-        from ..execution.kernel_cache import _comparable_values
-
-        ctx = self._ctx
-        spec = step.spec
-        runtime = self._delta_runtimes.get(spec.loop_id)
-        if runtime is None:
-            runtime = _DeltaRuntime(spec)
-            self._delta_runtimes[spec.loop_id] = runtime
-        if runtime.disabled:
-            return
-        table = ctx.registry.fetch(spec.cte_result)
-        key_column = table.columns[0]
-        if key_column.mask.any():
-            # NULL keys cannot be tracked by key; stay on the full path.
-            runtime.disabled = True
-            runtime.active = False
-            return
-        values = _comparable_values(key_column.data)
-        order = np.argsort(values, kind="stable")
-        sorted_values = values[order]
-        if len(sorted_values) > 1 \
-                and (sorted_values[1:] == sorted_values[:-1]).any():
-            # Duplicate keys break per-key alignment; full path forever.
-            runtime.disabled = True
-            runtime.active = False
-            return
-        runtime.schema = table.schema
-        runtime.columns = list(table.columns)
-        runtime.key_sorted = sorted_values
-        runtime.key_positions = order.astype(np.int64)
-        previous = ctx.registry.fetch(step.previous)
-        changed = self._diff_by_key(table, previous, values)
-        runtime.frontier_keys = values[changed]
-        runtime.last_frontier = int(changed.sum())
-        if spec.merge_by_key:
-            working = ctx.registry.fetch(spec.working)
-            w_keys = _comparable_values(working.columns[0].data)
-            flags = np.zeros(table.num_rows, dtype=np.bool_)
-            flags[self._key_positions_of(runtime, w_keys,
-                                         strict=False)] = True
-            runtime.in_working = flags
-        runtime.active = True
-
-    def _diff_by_key(self, current: Table, previous: Table, current_keys):
-        """Mask of ``current`` rows whose non-key values differ from the
-        row of ``previous`` with the same key (new keys count as
-        changed)."""
-        import numpy as np
-
-        from ..execution.kernel_cache import _comparable_values
-
-        if previous.num_rows == 0:
-            return np.ones(current.num_rows, dtype=np.bool_)
-        prev_values = _comparable_values(previous.columns[0].data)
-        order = np.argsort(prev_values, kind="stable")
-        prev_sorted = prev_values[order]
-        positions = np.searchsorted(prev_sorted, current_keys)
-        inside = positions < len(prev_sorted)
-        clipped = np.where(inside, positions, 0)
-        found = inside & (prev_sorted[clipped] == current_keys)
-        changed = ~found
-        if found.any():
-            idx_cur = np.flatnonzero(found)
-            idx_prev = order[clipped[found]]
-            differs = np.zeros(len(idx_cur), dtype=np.bool_)
-            for i in range(1, len(current.columns)):
-                cur_col = current.columns[i].take(idx_cur)
-                prev_col = previous.columns[i].take(idx_prev)
-                differs |= cur_col.is_distinct_from(prev_col)
-            changed[idx_cur] = differs
-        return changed
-
-    def _run_recursive_merge(self, step: RecursiveMergeStep) -> None:
-        """UNION / UNION ALL fixed-point bookkeeping for recursive CTEs."""
-        import numpy as np
-
-        ctx = self._ctx
-        result = ctx.registry.fetch(step.result)
-        candidate = ctx.registry.fetch(step.candidate)
-        ctx.stats.merge_steps += 1
-
-        if not step.distinct:
-            # UNION ALL: everything is new.
-            self._append_segment(step.result, result, candidate)
-            ctx.registry.store(step.working, candidate)
-            return
-
-        if candidate.num_rows == 0:
-            ctx.registry.store(step.working, candidate)
-            return
-
-        if not len(result.schema):
-            # Zero-column rows are all identical: nothing is ever new.
-            new_mask = np.zeros(candidate.num_rows, dtype=np.bool_)
-        elif ctx.options.enable_kernel_cache:
-            new_mask = self._merge_incremental(step, result, candidate)
-        else:
-            new_mask = _merge_rescan(result, candidate)
-        new_rows = candidate.filter(new_mask)
-        self._append_segment(step.result, result, new_rows)
-        ctx.registry.store(step.working, new_rows)
-
-    def _append_segment(self, name: str, result: Table,
-                        new_rows: Table) -> None:
-        """``result ++ delta`` in O(|delta|): append a segment instead of
-        copying the accumulated result (read paths consolidate lazily).
-        Only the delta is charged as data movement."""
-        ctx = self._ctx
-        segmented = SegmentedTable.wrap(result)
-        segmented.append(new_rows)
-        ctx.registry.store(name, segmented)
-        ctx.stats.rows_moved += new_rows.num_rows
-        ctx.stats.bytes_moved += new_rows.nbytes()
-
-    def _merge_incremental(self, step: RecursiveMergeStep, result: Table,
-                           candidate: Table) -> "np.ndarray":
-        """Dedup the candidate delta against the persistent seen-row
-        index instead of re-encoding ``result ++ candidate``.
-
-        The index lives for the duration of this program run, keyed by
-        the result name; it is rebuilt (one O(result) scan) whenever the
-        result table changed outside this merge step or the UNION's
-        common column types drifted."""
-        from ..execution.kernel_cache import IncrementalDistinctIndex
-        from ..types import common_type
-
-        ctx = self._ctx
-        # Types come from the schemas: reading .columns on a segmented
-        # result would force a consolidation every iteration.
-        types = tuple(
-            common_type(rc.sql_type, cc.sql_type)
-            for rc, cc in zip(result.schema.columns,
-                              candidate.schema.columns))
-        entry = self._merge_indexes.get(step.result)
-        index = None
-        repacks_before = 0
-        if entry is not None:
-            entry_types, entry_index = entry
-            if entry_index is None and entry_types == types:
-                # The index genuinely needs more than 62 id bits; stay on
-                # the rescan path rather than rebuild every merge.
-                return _merge_rescan(result, candidate)
-            if entry_index is not None and entry_types == types \
-                    and entry_index.rows_absorbed == result.num_rows:
-                index = entry_index
-                repacks_before = index.repacks
-                ctx.stats.merge_index_hits += 1
-        if index is None:
-            index = IncrementalDistinctIndex(len(types))
-            result_cols = [rc if rc.sql_type is t else rc.cast(t)
-                           for rc, t in zip(result.columns, types)]
-            if index.absorb(result_cols, result.num_rows) is None:
-                self._merge_indexes[step.result] = (types, None)
-                ctx.stats.merge_index_overflows += 1
-                ctx.stats.merge_index_repacks += index.repacks
-                return _merge_rescan(result, candidate)
-            self._merge_indexes[step.result] = (types, index)
-            ctx.stats.merge_index_rebuilds += 1
-        candidate_cols = [cc if cc.sql_type is t else cc.cast(t)
-                          for cc, t in zip(candidate.columns, types)]
-        new_mask = index.filter_new(candidate_cols, candidate.num_rows)
-        ctx.stats.merge_index_repacks += index.repacks - repacks_before
-        if new_mask is None:
-            # Even a repack cannot fit the per-column id spaces into 62
-            # bits, so every later merge of this result full-rescans.
-            # Counted (once per transition) for EXPLAIN ANALYZE and the
-            # ROADMAP repack-on-overflow trigger.
-            self._merge_indexes[step.result] = (types, None)
-            ctx.stats.merge_index_overflows += 1
-            return _merge_rescan(result, candidate)
-        return new_mask
-
-
-def _expand_ranges(left, right):
-    """Concatenate ``arange(left[i], right[i])`` for all i, vectorized."""
-    import numpy as np
-
-    counts = (right - left).astype(np.int64)
-    total = int(counts.sum())
-    if total == 0:
-        return np.empty(0, dtype=np.int64)
-    cumulative = np.cumsum(counts)
-    shift = np.repeat(left - np.concatenate(([0], cumulative[:-1])),
-                      counts)
-    return np.arange(total, dtype=np.int64) + shift
-
-
-def _merge_rescan(result: Table, candidate: Table):
-    """Cache-off UNION DISTINCT dedup: joint-encode ``result ++
-    candidate`` from scratch each iteration, but with sorted-search
-    membership instead of the per-row Python set loop this replaces.
-    Produces exactly the masks of the incremental path."""
-    import numpy as np
-
-    from ..execution.kernels import encode_keys
-
-    joint = [rc.concat(cc) for rc, cc in
-             zip(result.columns, candidate.columns)]
-    codes = encode_keys(joint, nulls_match=True)
-    seen_sorted = np.sort(codes[:result.num_rows])
-    cand_codes = codes[result.num_rows:]
-
-    _, first_index = np.unique(cand_codes, return_index=True)
-    first_mask = np.zeros(candidate.num_rows, dtype=np.bool_)
-    first_mask[first_index] = True
-    if len(seen_sorted):
-        positions = np.searchsorted(seen_sorted, cand_codes)
-        inside = positions < len(seen_sorted)
-        clipped = np.where(inside, positions, 0)
-        in_seen = inside & (seen_sorted[clipped] == cand_codes)
-        return first_mask & ~in_seen
-    return first_mask
-
-
-def run_program(program: Program, ctx: ExecutionContext) -> Optional[Table]:
-    """Execute a plan program; returns the ReturnStep's table (if any)."""
-    return ProgramRunner(program, ctx).run()
+__all__ = ["ProgramRunner", "StepProfile", "run_program"]

@@ -38,7 +38,7 @@ from ..storage import (
     pretty_table,
 )
 from ..core.rewrite import compile_statement
-from ..core.runner import ProgramRunner
+from ..runtime import ProgramRunner
 from ..stats import (
     CardinalityEstimator,
     StatisticsCatalog,
@@ -204,6 +204,18 @@ class Database:
         if error_lines:
             report += "\n" + "\n".join(error_lines)
         return report
+
+    def publish_trace(self, tracer: Tracer, loops: Iterable = (),
+                      sql: Optional[str] = None,
+                      metrics: Optional[dict] = None) -> Trace:
+        """Freeze ``tracer`` as this database's last trace.
+
+        Used by the out-of-engine drivers (middleware, stored
+        procedures, MPP harnesses) so their baseline runs appear in
+        :meth:`trace_json` side by side with engine traces."""
+        self._last_trace = build_trace(tracer, loops=loops,
+                                       metrics=metrics, sql=sql)
+        return self._last_trace
 
     def last_trace(self) -> Optional[Trace]:
         """The trace of the most recent traced statement (``None`` when

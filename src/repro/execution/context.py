@@ -50,6 +50,13 @@ class ExecutionStats:
     # Iterations served by the semi-naive delta path (frontier-only
     # recomputation) instead of a full working-table rebuild.
     delta_iterations: int = 0
+    # Mid-loop strategy demotions: the loop engine abandoned delta mode
+    # because the measured frontier stayed near-full (the bookkeeping
+    # cost more than the recomputation it saved).
+    strategy_demotions: int = 0
+    # Delta-apply keyset-guard trips: an INNER-join body dropped a key
+    # and the iteration was rerun through the full body.
+    delta_guard_fallbacks: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return dict(self.__dict__)
@@ -113,6 +120,17 @@ class SessionOptions:
     # merge the delta back.  Bit-identical to full recomputation; off by
     # default until the analyzer has seen wider production exposure.
     enable_delta_iteration: bool = False
+    # Feedback-driven strategy demotion: once the measured changed-row
+    # frontier covers at least `delta_demotion_threshold` of the table
+    # for `delta_demotion_patience` consecutive measurements, the loop
+    # engine demotes SemiNaiveDelta to the plain full-body strategy —
+    # near-full frontiers (e.g. PageRank, where every rank changes every
+    # trip) make the delta bookkeeping pure overhead.  Results stay
+    # bit-identical: demotion just routes iterations down the
+    # always-compiled full body.
+    enable_strategy_demotion: bool = True
+    delta_demotion_threshold: float = 0.8
+    delta_demotion_patience: int = 2
     # Safety cap for runaway iterative queries.
     max_iterations: int = 100_000
 

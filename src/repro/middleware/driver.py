@@ -17,9 +17,13 @@ from __future__ import annotations
 import copy
 import itertools
 from dataclasses import dataclass
+from typing import Optional
 
 from ..errors import PlanError, ReproError
 from ..engine import Database, QueryResult
+from ..obs.telemetry import LoopTelemetry
+from ..obs.trace import NULL_TRACER, Tracer
+from ..runtime import LoopRun
 from ..sql import ast, parse, statement_to_sql
 from ..types import SqlType
 
@@ -52,11 +56,22 @@ class MiddlewareDriver:
         self._db = db
         self._names = itertools.count()
         self.report = MiddlewareReport()
+        self._tracer = NULL_TRACER
+        # Per-iteration telemetry of the most recent run, for the Fig. 1
+        # side-by-side with native loop telemetry.
+        self.last_telemetry: Optional[LoopTelemetry] = None
 
     # -- public API ----------------------------------------------------------
 
     def run(self, sql: str) -> QueryResult:
-        """Execute an iterative-CTE query the middleware way."""
+        """Execute an iterative-CTE query the middleware way.
+
+        With the database's ``enable_tracing`` option on, the run records
+        a span per issued statement under a ``middleware`` baseline span,
+        plus per-iteration loop telemetry, and publishes the trace to the
+        database — so ``Database.trace_json()`` shows the Fig. 1 baseline
+        side by side with native engine traces.
+        """
         statement = parse(sql)
         if not isinstance(statement, (ast.Select, ast.SetOp)) \
                 or statement.with_clause is None:
@@ -72,7 +87,24 @@ class MiddlewareDriver:
         if others:
             raise PlanError("mixing regular CTEs is not supported by the "
                             "middleware driver")
-        return self._run_single(iterative[0], statement)
+        tracer = (Tracer() if self._db.options.enable_tracing
+                  else NULL_TRACER)
+        self._tracer = tracer
+        stats_before = (self._db.stats.snapshot() if tracer.enabled
+                        else None)
+        try:
+            with tracer.span("middleware", kind="baseline"):
+                result = self._run_single(iterative[0], statement)
+        finally:
+            self._tracer = NULL_TRACER
+        if tracer.enabled:
+            self._db.publish_trace(
+                tracer,
+                loops=([self.last_telemetry]
+                       if self.last_telemetry is not None else []),
+                metrics=self._db.stats.delta_since(stats_before),
+                sql=sql)
+        return result
 
     # -- internals -------------------------------------------------------------
 
@@ -84,6 +116,10 @@ class MiddlewareDriver:
             self.report.dml_statements += 1
         else:
             self.report.probe_queries += 1
+        if self._tracer.enabled:
+            with self._tracer.span("statement", kind="statement",
+                                   category=kind):
+                return self._db.execute(sql)
         return self._db.execute(sql)
 
     def _run_single(self, cte: ast.IterativeCte,
@@ -117,22 +153,39 @@ class MiddlewareDriver:
                 _rebind_cte(cte.step, cte.name, main))
             update_sql = self._update_statement(main, working, columns, key)
 
+            # The unified loop shell: same telemetry records and span
+            # shape as the native engine's loops, kind "middleware".
+            run = LoopRun(0, cte.name.lower(), "middleware",
+                          tracer=self._tracer)
+            run.begin()
+            counts_updates = cte.termination.kind in (
+                ast.TerminationKind.UPDATES, ast.TerminationKind.DELTA)
             iterations = 0
             total_updates = 0
             while True:
                 self._execute(f"DELETE FROM {working}", "dml")
-                self._execute(f"INSERT INTO {working} {step_sql}", "dml")
+                inserted = self._execute(
+                    f"INSERT INTO {working} {step_sql}", "dml").rowcount
                 changed = 0
-                if cte.termination.kind in (ast.TerminationKind.UPDATES,
-                                            ast.TerminationKind.DELTA):
+                if counts_updates:
                     changed = self._count_changes(main, working, columns,
                                                   key)
                 self._execute(update_sql, "dml")
                 iterations += 1
                 total_updates += changed
-                if self._terminated(cte.termination, main, iterations,
-                                    total_updates, changed):
+                done = self._terminated(cte.termination, main, iterations,
+                                        total_updates, changed)
+                # Catalog read, not a SQL probe: the statement count is
+                # the baseline's defining overhead and must not change.
+                run.finish_iteration(
+                    not done,
+                    delta_rows=changed if counts_updates else inserted,
+                    working_rows=inserted,
+                    total_rows=self._db.table(main).num_rows)
+                if done:
                     break
+            run.close()
+            self.last_telemetry = run.telemetry
             self.report.iterations += iterations
 
             final = copy.copy(statement)

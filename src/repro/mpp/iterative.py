@@ -14,18 +14,14 @@ the single-node reference (checked in tests).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
-from ..obs.telemetry import (
-    IterationRecord,
-    LoopTelemetry,
-    render_iteration_table,
-)
+from ..obs.telemetry import LoopTelemetry, render_iteration_table
 from ..obs.trace import NULL_TRACER
+from ..runtime import LoopRun
 from ..storage import Column, ColumnSchema, Schema, Table
 from ..types import SqlType
 from .cluster import Cluster, DistributedTable
@@ -111,19 +107,18 @@ def distributed_pagerank(cluster: Cluster,
     # delta-shuffle motion suppression.
     sent_pieces: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
 
-    telemetry = LoopTelemetry(loop_id=0, cte="pr_state", kind="mpp")
-    loop_span = tracer.start("loop:pr_state", kind="loop",
-                             segments=cluster.segments) \
-        if tracer.enabled else None
+    # The same loop shell the SQL engine's loops run on: per-iteration
+    # telemetry from motion-counter diffs, plus loop/iteration spans.
+    run = LoopRun(
+        0, "pr_state", "mpp", tracer=tracer,
+        snapshot=lambda: {"rows_moved": cluster.motion.rows_moved,
+                          "bytes_moved": cluster.motion.bytes_moved,
+                          "shuffles": cluster.motion.shuffles},
+        derive=lambda diff: diff,
+        span_attributes={"segments": cluster.segments})
+    run.begin()
 
     for trip in range(iterations):
-        iter_started = time.perf_counter()
-        motion_mark = (cluster.motion.rows_moved,
-                       cluster.motion.bytes_moved,
-                       cluster.motion.shuffles)
-        iter_span = tracer.start("iteration", kind="iteration",
-                                 index=trip + 1) \
-            if tracer.enabled else None
         # Phase 1 (local): each segment joins its edges against the
         # co-located delta state (both hashed the same way, so the join
         # itself moves nothing) and emits (dst, delta * weight) partials.
@@ -165,27 +160,14 @@ def distributed_pagerank(cluster: Cluster,
         delta_rows = sum(
             int((part.column("delta").data != 0.0).sum())
             for part in state.partitions)
-        record = IterationRecord(
-            index=trip + 1,
-            seconds=time.perf_counter() - iter_started,
+        run.finish_iteration(
+            trip + 1 < iterations,
             delta_rows=delta_rows,
             working_rows=sum(c.num_rows for c in partial_chunks),
-            total_rows=state.num_rows,
-            rows_moved=cluster.motion.rows_moved - motion_mark[0],
-            bytes_moved=cluster.motion.bytes_moved - motion_mark[1],
-            shuffles=cluster.motion.shuffles - motion_mark[2])
-        telemetry.records.append(record)
-        if iter_span is not None:
-            iter_span.set(seconds_measured=record.seconds,
-                          delta_rows=record.delta_rows,
-                          rows_moved=record.rows_moved,
-                          bytes_moved=record.bytes_moved,
-                          shuffles=record.shuffles)
-            tracer.end(iter_span)
+            total_rows=state.num_rows)
 
-    if loop_span is not None:
-        loop_span.set(iterations=telemetry.iterations)
-        tracer.end(loop_span)
+    run.close()
+    telemetry = run.telemetry
 
     gathered = state.gather()
     # Parity with the SQL query, which reports `rank` after the last

@@ -14,7 +14,9 @@ change bumps it.
       "root": <span>,
       "loops": [
         {"loop_id": int, "cte": str,
-         "kind": "iterative" | "fixpoint" | "mpp",
+         "kind": "iterative" | "fixpoint" | "mpp"
+               | "middleware" | "procedure",
+         "strategy": str | null,
          "iterations": [<iteration record>, ...]},
         ...
       ],
@@ -61,8 +63,10 @@ _TRACE_KEYS = frozenset(
     {"schema_version", "engine", "sql", "root", "loops", "metrics"})
 _SPAN_KEYS = frozenset(
     {"name", "kind", "seconds", "attributes", "children"})
-_LOOP_KEYS = frozenset({"loop_id", "cte", "kind", "iterations"})
-_LOOP_KINDS = frozenset({"iterative", "fixpoint", "mpp"})
+_LOOP_KEYS = frozenset(
+    {"loop_id", "cte", "kind", "strategy", "iterations"})
+_LOOP_KINDS = frozenset(
+    {"iterative", "fixpoint", "mpp", "middleware", "procedure"})
 
 
 @dataclass
@@ -142,6 +146,9 @@ def _validate_loop(loop, path: str) -> None:
         _fail(f"{path}.cte is not a string")
     if loop["kind"] not in _LOOP_KINDS:
         _fail(f"{path}.kind {loop['kind']!r} not in {sorted(_LOOP_KINDS)}")
+    if loop["strategy"] is not None \
+            and not isinstance(loop["strategy"], str):
+        _fail(f"{path}.strategy is neither null nor a string")
     if not isinstance(loop["iterations"], list):
         _fail(f"{path}.iterations is not a list")
     for index, record in enumerate(loop["iterations"]):

@@ -1,12 +1,13 @@
 """Per-iteration loop telemetry: the convergence curve of one loop.
 
-Every loop the engine runs — ITERATIVE CTEs, recursive (fixpoint) CTEs,
-and the MPP-iterative driver — produces one :class:`LoopTelemetry` with
-one :class:`IterationRecord` per trip around the loop.  The record
-schema is deliberately identical across the three loop kinds so a
-benchmark trajectory can compare them; fields a kind cannot measure stay
-zero (e.g. ``shuffles`` on a single node, ``kernel_cache_hits`` on the
-simulated cluster).
+Every loop the system runs — ITERATIVE CTEs, recursive (fixpoint) CTEs,
+the MPP-iterative driver, and the middleware / stored-procedure
+baselines — produces one :class:`LoopTelemetry` with one
+:class:`IterationRecord` per trip around the loop.  The record schema is
+deliberately identical across the loop kinds so a benchmark trajectory
+can compare them; fields a kind cannot measure stay zero (e.g.
+``shuffles`` on a single node, ``kernel_cache_hits`` on the simulated
+cluster).
 
 ``delta_rows`` over the iteration index *is* the convergence curve: the
 number of rows the iteration actually changed (updated rows for
@@ -18,6 +19,7 @@ where every row is rewritten each trip).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 
 @dataclass
@@ -61,8 +63,12 @@ class LoopTelemetry:
 
     loop_id: int
     cte: str                    # user-visible CTE / state-table name
-    kind: str                   # "iterative" | "fixpoint" | "mpp"
+    # "iterative" | "fixpoint" | "mpp" | "middleware" | "procedure"
+    kind: str
     records: list[IterationRecord] = field(default_factory=list)
+    # The LoopStrategy that ran the loop (None for loop kinds without
+    # strategy selection); "from->to" after a mid-loop demotion.
+    strategy: Optional[str] = None
 
     @property
     def iterations(self) -> int:
@@ -73,6 +79,7 @@ class LoopTelemetry:
             "loop_id": self.loop_id,
             "cte": self.cte,
             "kind": self.kind,
+            "strategy": self.strategy,
             "iterations": [record.to_dict() for record in self.records],
         }
 

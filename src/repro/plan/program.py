@@ -8,7 +8,7 @@ other step advances by one.
 
 Steps hold logical plans (materializations) or registry manipulations
 (rename / snapshot / drop).  The executor for programs lives in
-:mod:`repro.core.runner`.
+:mod:`repro.runtime`.
 """
 
 from __future__ import annotations
@@ -135,6 +135,13 @@ class LoopSpec:
     # Fixed-point loops (recursive CTEs): continue while this result has
     # rows; ``termination`` is None in that case.
     until_empty: Optional[str] = None
+    # How the full body moves the working table back onto the CTE name:
+    # "rename" (O(1) relabel) or "copy" (physical move, the Fig. 8
+    # baseline).  Drives run-time strategy selection.
+    movement: str = "rename"
+    # The loop's semi-naive delta rewrite, when the safety analyzer
+    # proved one; None keeps the loop on its full-body strategy.
+    delta: Optional[DeltaSpec] = None
 
     def annotation(self) -> str:
         if self.termination is None:
@@ -227,6 +234,11 @@ class DeltaSpec:
     merge_by_key: bool
     # (base table, frontier-side column, affected-side column) per link.
     influences: list[tuple[str, str, str]] = field(default_factory=list)
+    # INNER-join body without a WHERE clause: delta apply must verify the
+    # recomputed partition reproduced its keyset exactly (an inner join
+    # can drop keys, which a keyed scatter cannot express) and fall back
+    # to the full body when it did not.
+    guard_keyset: bool = False
 
 
 @dataclass
@@ -271,11 +283,14 @@ class DeltaApplyStep(Step):
 
     Scatters the delta-working rows over their key positions, derives the
     next frontier from IS DISTINCT FROM change detection, and jumps to
-    ``jump_to`` (the loop increment), skipping the full body.
+    ``jump_to`` (the loop increment), skipping the full body.  When the
+    spec's keyset guard trips, jumps forward to ``jump_full`` (the full
+    body) instead, so the iteration reruns correctly.
     """
 
     spec: DeltaSpec
     jump_to: int = -1
+    jump_full: int = -1
 
     def describe(self) -> str:
         return (f"Apply {self.spec.delta_working} to "

@@ -3,15 +3,26 @@
 The runner walks the procedure IR and submits each SQL statement to the
 engine independently — the optimizer sees one statement at a time, exactly
 as the paper describes the DBMS processing a procedure body (§I, §VII-E).
+
+With the database's ``enable_tracing`` option on, a call records a span
+per executed statement under a ``procedure:<name>`` baseline span, and
+every ``Loop`` op runs through the same :class:`~repro.runtime.LoopRun`
+shell as the engine's loops (kind ``"procedure"``), so the Fig. 11
+baseline appears in ``Database.trace_json()`` side by side with native
+traces.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import itertools
+from dataclasses import dataclass
 from typing import Optional
 
 from ..errors import ReproError
 from ..engine import Database, QueryResult
+from ..obs.telemetry import LoopTelemetry
+from ..obs.trace import NULL_TRACER, Tracer
+from ..runtime import LoopRun
 from .language import ExecuteSql, Loop, Procedure, ProcedureOp, ReturnQuery
 
 
@@ -30,6 +41,8 @@ class ProcedureCatalog:
         self._db = db
         self._procedures: dict[str, Procedure] = {}
         self.last_report: Optional[CallReport] = None
+        # Per-iteration telemetry of the most recent call's loops.
+        self.last_telemetry: list[LoopTelemetry] = []
 
     def register(self, procedure: Procedure) -> None:
         key = procedure.name.lower()
@@ -47,30 +60,66 @@ class ProcedureCatalog:
         procedure = self._procedures.get(name.lower())
         if procedure is None:
             raise ReproError(f"no procedure named {name!r}")
+        tracer = (Tracer() if self._db.options.enable_tracing
+                  else NULL_TRACER)
         report = CallReport()
-        result = self._run_ops(procedure.ops, report)
+        telemetry: list[LoopTelemetry] = []
+        stats_before = (self._db.stats.snapshot() if tracer.enabled
+                        else None)
+        with tracer.span(f"procedure:{procedure.name.lower()}",
+                         kind="baseline"):
+            result = self._run_ops(procedure.ops, report, tracer,
+                                   telemetry, itertools.count())
         self.last_report = report
+        self.last_telemetry = telemetry
+        if tracer.enabled:
+            self._db.publish_trace(
+                tracer, loops=telemetry,
+                metrics=self._db.stats.delta_since(stats_before))
         if result is None:
             return QueryResult()
         return result
 
-    def _run_ops(self, ops: list[ProcedureOp],
-                 report: CallReport) -> Optional[QueryResult]:
+    def _run_ops(self, ops: list[ProcedureOp], report: CallReport,
+                 tracer, telemetry: list[LoopTelemetry],
+                 loop_ids) -> Optional[QueryResult]:
         result: Optional[QueryResult] = None
         for op in ops:
             if isinstance(op, ExecuteSql):
-                self._db.execute(op.sql)
+                self._execute(op.sql, tracer)
                 report.statements_executed += 1
             elif isinstance(op, Loop):
                 report.loops_entered += 1
-                for _ in range(op.count):
-                    inner = self._run_ops(op.body, report)
+                loop_id = next(loop_ids)
+                # The unified loop shell: same record and span shape as
+                # the engine's loops, kind "procedure".
+                run = LoopRun(loop_id, f"loop{loop_id}", "procedure",
+                              tracer=tracer)
+                run.begin()
+                for trip in range(op.count):
+                    statements_before = report.statements_executed
+                    inner = self._run_ops(op.body, report, tracer,
+                                          telemetry, loop_ids)
                     if inner is not None:
                         result = inner
+                    run.finish_iteration(
+                        trip + 1 < op.count,
+                        delta_rows=0,
+                        working_rows=(report.statements_executed
+                                      - statements_before),
+                        total_rows=0)
+                run.close()
+                telemetry.append(run.telemetry)
             elif isinstance(op, ReturnQuery):
-                result = self._db.execute(op.sql)
+                result = self._execute(op.sql, tracer)
                 report.statements_executed += 1
             else:
                 raise ReproError(
                     f"unknown procedure op: {type(op).__name__}")
         return result
+
+    def _execute(self, sql: str, tracer) -> QueryResult:
+        if tracer.enabled:
+            with tracer.span("statement", kind="statement"):
+                return self._db.execute(sql)
+        return self._db.execute(sql)

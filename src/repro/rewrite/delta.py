@@ -40,9 +40,16 @@ class DeltaSafety:
     match ``base_table.frontier_column`` and influence the keys found in
     ``base_table.affected_column`` of the same rows.  Identity links
     need no entry — the frontier always influences itself.
+
+    ``guard_keyset`` marks bodies with an INNER join but no WHERE clause:
+    per-key evolution holds for *surviving* keys, but the join may drop a
+    key whose partners vanish, so the delta apply must verify the
+    recomputed partition reproduced its keyset exactly and fall back to
+    the full body otherwise.
     """
 
     influences: tuple[tuple[str, str, str], ...]
+    guard_keyset: bool = False
 
 
 @dataclass(frozen=True)
@@ -108,11 +115,16 @@ def analyze_iterative_delta(cte: ast.IterativeCte, columns: list[str],
     anchor = leaves[0]
 
     # -- join kinds --------------------------------------------------------
-    allowed = {ast.JoinKind.LEFT}
-    if step.where is not None:
-        allowed.add(ast.JoinKind.INNER)
+    # LEFT joins preserve every anchor row; INNER joins may drop anchor
+    # rows whose partners vanish.  With a WHERE clause the body merges by
+    # key anyway, so dropped rows simply keep their old values; without
+    # one the full body *replaces* the table, so a dropped key changes the
+    # result keyset — accepted, but flagged for a run-time keyset guard.
+    allowed = {ast.JoinKind.LEFT, ast.JoinKind.INNER}
     if any(join.kind not in allowed for join in joins):
         return None
+    guard_keyset = step.where is None and any(
+        join.kind is ast.JoinKind.INNER for join in joins)
 
     def resolve(ref: ast.ColumnRef) -> Optional[_Leaf]:
         name = ref.name.lower()
@@ -209,7 +221,8 @@ def analyze_iterative_delta(cte: ast.IterativeCte, columns: list[str],
                 break
         if not linked:
             return None
-    return DeltaSafety(influences=tuple(influences))
+    return DeltaSafety(influences=tuple(influences),
+                       guard_keyset=guard_keyset)
 
 
 def _flatten_from(relation: ast.Relation) -> Iterator[ast.Relation]:

@@ -1,0 +1,9 @@
+"""Step handlers, one module per concern.
+
+Importing this package populates the dispatch table in
+:mod:`repro.runtime.registry`; each module registers its handlers with the
+:func:`~repro.runtime.registry.handles` decorator.  Adding a step kind
+means adding a handler here — the interpreter never changes.
+"""
+
+from . import delta, loop_control, materialize, merge, movement  # noqa: F401

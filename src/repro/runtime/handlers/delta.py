@@ -1,0 +1,282 @@
+"""Semi-naive delta evaluation: gate / partition / apply / capture.
+
+The handlers own the *mechanics* of the delta path; the decision of
+whether the loop should stay on it belongs to the
+:class:`~repro.runtime.strategies.SemiNaiveDelta` strategy, which every
+measured frontier is fed back into through
+:meth:`LoopEngine.note_frontier` — that is the channel mid-loop demotion
+rides on, and it works identically for traced and untraced runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...errors import ExecutionError
+from ...plan.program import (
+    DeltaApplyStep,
+    DeltaCaptureStep,
+    DeltaGateStep,
+    DeltaPartitionStep,
+    DeltaSpec,
+)
+from ...storage import Column, Table
+from ..registry import handles
+from ..strategies import DeltaLoopRuntime
+
+
+@handles(DeltaGateStep)
+def run_delta_gate(runner, step: DeltaGateStep) -> Optional[int]:
+    engine = runner.engine
+    runtime = engine.delta_runtime(step.spec)
+    if runtime.disabled or not runtime.active:
+        return step.jump_full
+    if runtime.frontier_keys is None or not len(runtime.frontier_keys):
+        # Empty frontier: no input of any key changed last iteration,
+        # so no output can change this iteration (or ever after) —
+        # this iteration costs O(1).
+        runtime.last_frontier = 0
+        if engine.counts_updates(step.spec.loop_id):
+            engine.record_updates(step.spec.loop_id, 0)
+        runner.ctx.stats.delta_iterations += 1
+        return step.jump_done
+    return None
+
+
+@handles(DeltaPartitionStep)
+def run_delta_partition(runner, step: DeltaPartitionStep) -> Optional[int]:
+    ctx = runner.ctx
+    spec = step.spec
+    runtime = runner.engine.delta_runtime(spec)
+    frontier = runtime.frontier_keys
+    # A changed key always influences itself (its own row is
+    # recomputed); links add the keys reachable through base tables.
+    position_sets = [_key_positions_of(runtime, frontier, strict=True)]
+    for link in spec.influences:
+        influenced = _expand_influence(runner, runtime, link, frontier)
+        position_sets.append(
+            _key_positions_of(runtime, influenced, strict=False))
+    positions = np.unique(np.concatenate(position_sets))
+    table = ctx.registry.fetch(spec.cte_result)
+    partition = table.take(positions)
+    ctx.registry.store(spec.partition, partition)
+    runtime.pending_positions = positions
+    ctx.stats.rows_moved += int(len(positions))
+    ctx.stats.bytes_moved += partition.nbytes()
+    return None
+
+
+@handles(DeltaApplyStep)
+def run_delta_apply(runner, step: DeltaApplyStep) -> int:
+    from ...execution.kernel_cache import _comparable_values
+
+    ctx = runner.ctx
+    engine = runner.engine
+    spec = step.spec
+    runtime = engine.delta_runtime(spec)
+    working = ctx.registry.fetch(spec.delta_working)
+    w_keys = _comparable_values(working.columns[0].data)
+    positions = _key_positions_of(runtime, w_keys, strict=True)
+
+    if spec.guard_keyset and not np.array_equal(
+            np.sort(positions), runtime.pending_positions):
+        # INNER-join body without a WHERE clause: the full body may drop
+        # keys whose join partners vanished, which the keyed scatter
+        # cannot express.  Keys outside the partition are unaffected (no
+        # input of theirs changed), so comparing the delta body's output
+        # keyset against the partition keyset is a complete check.  On
+        # mismatch, permanently fall back to the always-compiled full
+        # body and rerun this iteration through it.
+        runtime.disabled = True
+        runtime.active = False
+        runtime.pending_positions = None
+        ctx.stats.delta_guard_fallbacks += 1
+        return step.jump_full
+
+    changed = np.zeros(working.num_rows, dtype=np.bool_)
+    new_columns = list(runtime.columns)
+    for i in range(1, len(new_columns)):
+        old = runtime.columns[i]
+        new_col = working.columns[i]
+        if new_col.sql_type is not old.sql_type:
+            new_col = new_col.cast(old.sql_type)
+        col_changed = old.take(positions).is_distinct_from(new_col)
+        changed |= col_changed
+        if not col_changed.any():
+            # Unchanged column: keep the old object so its version —
+            # and any kernel-cache state keyed by it — survives.
+            continue
+        data = old.data.copy()
+        mask = old.mask.copy()
+        data[positions] = new_col.data
+        mask[positions] = new_col.mask
+        new_columns[i] = Column(old.sql_type, data, mask)
+    ctx.stats.rows_moved += working.num_rows
+    ctx.stats.bytes_moved += working.nbytes()
+
+    runtime.frontier_keys = w_keys[changed]
+    runtime.last_frontier = int(changed.sum())
+
+    if spec.merge_by_key:
+        # The full body's merge join emits matched (working) rows
+        # first, then the rest; replicate that reordering from the
+        # membership flags so delta iterations stay bit-identical.
+        in_working = runtime.in_working.copy()
+        in_working[runtime.pending_positions] = False
+        in_working[positions] = True
+        perm = np.concatenate([np.flatnonzero(in_working),
+                               np.flatnonzero(~in_working)])
+        if not np.array_equal(perm,
+                              np.arange(len(perm), dtype=perm.dtype)):
+            new_columns = [c.take(perm) for c in new_columns]
+            in_working = in_working[perm]
+            _set_key_index(runtime, new_columns[0])
+            ctx.stats.rows_moved += int(len(perm))
+        runtime.in_working = in_working
+
+    new_table = Table(runtime.schema, new_columns)
+    ctx.registry.store(spec.cte_result, new_table)
+    runtime.columns = new_columns
+    runtime.pending_positions = None
+    if engine.counts_updates(spec.loop_id):
+        engine.record_updates(spec.loop_id, runtime.last_frontier)
+    ctx.stats.delta_iterations += 1
+    engine.note_frontier(spec.loop_id, runtime.last_frontier,
+                         new_table.num_rows)
+    return step.jump_to
+
+
+@handles(DeltaCaptureStep)
+def run_delta_capture(runner, step: DeltaCaptureStep) -> Optional[int]:
+    from ...execution.kernel_cache import _comparable_values
+
+    ctx = runner.ctx
+    engine = runner.engine
+    spec = step.spec
+    runtime = engine.delta_runtime(spec)
+    if runtime.disabled:
+        return None
+    table = ctx.registry.fetch(spec.cte_result)
+    key_column = table.columns[0]
+    if key_column.mask.any():
+        # NULL keys cannot be tracked by key; stay on the full path.
+        runtime.disabled = True
+        runtime.active = False
+        return None
+    values = _comparable_values(key_column.data)
+    order = np.argsort(values, kind="stable")
+    sorted_values = values[order]
+    if len(sorted_values) > 1 \
+            and (sorted_values[1:] == sorted_values[:-1]).any():
+        # Duplicate keys break per-key alignment; full path forever.
+        runtime.disabled = True
+        runtime.active = False
+        return None
+    runtime.schema = table.schema
+    runtime.columns = list(table.columns)
+    runtime.key_sorted = sorted_values
+    runtime.key_positions = order.astype(np.int64)
+    previous = ctx.registry.fetch(step.previous)
+    changed = _diff_by_key(table, previous, values)
+    runtime.frontier_keys = values[changed]
+    runtime.last_frontier = int(changed.sum())
+    if spec.merge_by_key:
+        working = ctx.registry.fetch(spec.working)
+        w_keys = _comparable_values(working.columns[0].data)
+        flags = np.zeros(table.num_rows, dtype=np.bool_)
+        flags[_key_positions_of(runtime, w_keys, strict=False)] = True
+        runtime.in_working = flags
+    runtime.active = True
+    engine.note_frontier(spec.loop_id, runtime.last_frontier,
+                         table.num_rows)
+    return None
+
+
+def _key_positions_of(runtime: DeltaLoopRuntime, keys, strict: bool):
+    """Row positions of comparable ``keys`` in the CTE table."""
+    if not len(keys):
+        return np.empty(0, dtype=np.int64)
+    haystack = runtime.key_sorted
+    positions = np.searchsorted(haystack, keys)
+    inside = positions < len(haystack)
+    clipped = np.where(inside, positions, 0)
+    found = inside & (haystack[clipped] == keys)
+    if strict and not found.all():
+        raise ExecutionError(
+            "delta evaluation lost track of a CTE key; this is a bug "
+            "in the delta safety analysis")
+    return runtime.key_positions[clipped[found]]
+
+
+def _expand_influence(runner, runtime: DeltaLoopRuntime,
+                      link: tuple[str, str, str], frontier):
+    """Keys influenced by ``frontier`` through one base-table link."""
+    from ...execution.kernel_cache import _comparable_values
+
+    entry = runtime.link_indexes.get(link)
+    if entry is None:
+        table_name, src_name, dst_name = link
+        base = runner.ctx.catalog.get(table_name)
+        src = base.column(src_name)
+        dst = base.column(dst_name)
+        # A NULL on either side of an equi join never matches.
+        valid = ~(src.mask | dst.mask)
+        src_values = _comparable_values(src.data[valid])
+        dst_values = _comparable_values(dst.data[valid])
+        order = np.argsort(src_values, kind="stable")
+        entry = (src_values[order], dst_values[order])
+        runtime.link_indexes[link] = entry
+    src_sorted, dst_by_src = entry
+    left = np.searchsorted(src_sorted, frontier, side="left")
+    right = np.searchsorted(src_sorted, frontier, side="right")
+    return dst_by_src[_expand_ranges(left, right)]
+
+
+def _set_key_index(runtime: DeltaLoopRuntime, key_column) -> None:
+    from ...execution.kernel_cache import _comparable_values
+
+    values = _comparable_values(key_column.data)
+    order = np.argsort(values, kind="stable")
+    runtime.key_sorted = values[order]
+    runtime.key_positions = order.astype(np.int64)
+
+
+def _diff_by_key(current: Table, previous: Table, current_keys):
+    """Mask of ``current`` rows whose non-key values differ from the row
+    of ``previous`` with the same key (new keys count as changed)."""
+    from ...execution.kernel_cache import _comparable_values
+
+    if previous.num_rows == 0:
+        return np.ones(current.num_rows, dtype=np.bool_)
+    prev_values = _comparable_values(previous.columns[0].data)
+    order = np.argsort(prev_values, kind="stable")
+    prev_sorted = prev_values[order]
+    positions = np.searchsorted(prev_sorted, current_keys)
+    inside = positions < len(prev_sorted)
+    clipped = np.where(inside, positions, 0)
+    found = inside & (prev_sorted[clipped] == current_keys)
+    changed = ~found
+    if found.any():
+        idx_cur = np.flatnonzero(found)
+        idx_prev = order[clipped[found]]
+        differs = np.zeros(len(idx_cur), dtype=np.bool_)
+        for i in range(1, len(current.columns)):
+            cur_col = current.columns[i].take(idx_cur)
+            prev_col = previous.columns[i].take(idx_prev)
+            differs |= cur_col.is_distinct_from(prev_col)
+        changed[idx_cur] = differs
+    return changed
+
+
+def _expand_ranges(left, right):
+    """Concatenate ``arange(left[i], right[i])`` for all i, vectorized."""
+    counts = (right - left).astype(np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    cumulative = np.cumsum(counts)
+    shift = np.repeat(left - np.concatenate(([0], cumulative[:-1])),
+                      counts)
+    return np.arange(total, dtype=np.int64) + shift

@@ -1,0 +1,67 @@
+"""Loop-control steps: init / increment / loop check / update counting.
+
+These handlers only *route* — all loop state lives in the
+:class:`~repro.runtime.loop_engine.LoopEngine`, so the MPP and baseline
+drivers share the exact same control path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...errors import DuplicateKeyError
+from ...execution.kernels import factorize
+from ...plan.program import (
+    CountUpdatesStep,
+    DuplicateCheckStep,
+    IncrementLoopStep,
+    InitLoopStep,
+    LoopStep,
+)
+from ..conditions import count_changed_rows
+from ..registry import handles
+
+
+@handles(InitLoopStep)
+def run_init_loop(runner, step: InitLoopStep) -> Optional[int]:
+    runner.engine.init_loop(step.spec)
+    return None
+
+
+@handles(IncrementLoopStep)
+def run_increment_loop(runner, step: IncrementLoopStep) -> Optional[int]:
+    runner.engine.state(step.loop_id).iterations += 1
+    runner.ctx.stats.iterations += 1
+    return None
+
+
+@handles(LoopStep)
+def run_loop(runner, step: LoopStep) -> Optional[int]:
+    return runner.engine.evaluate(step)
+
+
+@handles(CountUpdatesStep)
+def run_count_updates(runner, step: CountUpdatesStep) -> Optional[int]:
+    ctx = runner.ctx
+    previous = ctx.registry.fetch(step.previous)
+    current = ctx.registry.fetch(step.current)
+    key_index = current.schema.index_of(step.key_column)
+    changed = count_changed_rows(previous, current, key_index,
+                                 ctx.active_kernel_cache())
+    runner.engine.record_updates(step.loop_id, changed)
+    return None
+
+
+@handles(DuplicateCheckStep)
+def run_duplicate_check(runner, step: DuplicateCheckStep) -> Optional[int]:
+    ctx = runner.ctx
+    table = ctx.registry.fetch(step.result_name)
+    key = table.column(step.key_column)
+    codes, cardinality = factorize(key, nulls_match=True,
+                                   cache=ctx.active_kernel_cache())
+    if len(codes) and cardinality < len(codes):
+        raise DuplicateKeyError(
+            "the iterative part produced duplicate values for key "
+            f"{step.key_column!r}; add an aggregation to resolve "
+            "them (paper §II)")
+    return None

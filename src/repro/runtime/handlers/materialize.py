@@ -1,0 +1,41 @@
+"""Plan-running steps: materialize, snapshot, return, drop."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...execution import execute_to_table
+from ...plan.program import (
+    DropStep,
+    MaterializeStep,
+    ReturnStep,
+    SnapshotStep,
+)
+from ..registry import handles
+
+
+@handles(MaterializeStep)
+def run_materialize(runner, step: MaterializeStep) -> Optional[int]:
+    table = execute_to_table(step.plan, runner.ctx, step.column_names)
+    runner.ctx.registry.store(step.result_name, table)
+    return None
+
+
+@handles(SnapshotStep)
+def run_snapshot(runner, step: SnapshotStep) -> Optional[int]:
+    snapshot = runner.ctx.registry.fetch(step.source).copy()
+    runner.ctx.registry.store(step.target, snapshot)
+    return None
+
+
+@handles(ReturnStep)
+def run_return(runner, step: ReturnStep) -> Optional[int]:
+    runner.set_result(execute_to_table(step.plan, runner.ctx))
+    return None
+
+
+@handles(DropStep)
+def run_drop(runner, step: DropStep) -> Optional[int]:
+    for name in step.names:
+        runner.ctx.registry.drop(name)
+    return None

@@ -1,0 +1,48 @@
+"""The step-handler registry: one handler per :class:`Step` kind.
+
+The interpreter dispatches through this table instead of one giant
+isinstance chain, so adding a step kind means registering a handler in a
+:mod:`repro.runtime.handlers` module — no interpreter edits.  A handler
+takes ``(runner, step)`` and returns the next program counter, or ``None``
+to fall through to the following step.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import ExecutionError
+from ..plan.program import Step
+
+Handler = Callable[["ProgramRunner", Step], Optional[int]]
+
+HANDLERS: dict[type, Handler] = {}
+
+
+def handles(*step_types: type):
+    """Register the decorated function as the handler for ``step_types``."""
+
+    def register(fn: Handler) -> Handler:
+        for step_type in step_types:
+            if step_type in HANDLERS:
+                raise RuntimeError(
+                    f"duplicate handler for {step_type.__name__}")
+            HANDLERS[step_type] = fn
+        return fn
+
+    return register
+
+
+def dispatch(runner, step: Step) -> Optional[int]:
+    """Run ``step`` through its registered handler."""
+    handler = HANDLERS.get(type(step))
+    if handler is None:
+        # Subclassed steps execute through their nearest registered base.
+        for base in type(step).__mro__[1:]:
+            handler = HANDLERS.get(base)
+            if handler is not None:
+                break
+        else:
+            raise ExecutionError(
+                f"unknown step type: {type(step).__name__}")
+    return handler(runner, step)

@@ -1,0 +1,188 @@
+"""Pluggable loop-execution strategies.
+
+Every loop the engine runs is owned by exactly one :class:`LoopStrategy`,
+chosen when the loop initializes:
+
+* :class:`FullRecompute` — the Fig. 8 baseline: every iteration rebuilds
+  the working table and physically copies it back (``CopyStep``).
+* :class:`RenameInPlace` — the Fig. 8 data-movement optimization: the
+  rebuilt working table replaces the CTE table by an O(1) registry
+  relabel (``RenameStep``).
+* :class:`SemiNaiveDelta` — frontier-driven partition recomputation: only
+  the rows affected by the previous iteration's changes are rebuilt, and
+  the delta is scattered back by key (bit-identical to the full body).
+* :class:`FixpointIncremental` — recursive CTEs: the working table *is*
+  the frontier, and ``RecursiveMergeStep`` appends only genuinely new
+  rows per trip.
+
+Selection is cost-based and feedback-driven.  The compiler picks the
+statically cheapest strategy (delta when the safety analyzer proves
+per-key evolution, rename when enabled); at run time the engine feeds
+every measured frontier back into the strategy, and
+:class:`SemiNaiveDelta` *demotes itself* to the plain full-body strategy
+when the frontier stays near-full — the per-iteration bookkeeping
+(partition gather + keyed scatter) then costs more than the recomputation
+it saves, which is exactly the PageRank shape where every rank changes
+every trip.  Demotion routes iterations down the always-compiled full
+body, so results stay bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..plan.program import DeltaSpec, LoopSpec
+
+
+class LoopStrategy:
+    """How the iterations of one loop move data between trips."""
+
+    name = "abstract"
+
+    def __init__(self, spec: LoopSpec):
+        self.spec = spec
+
+    def note_frontier(self, frontier: int, total: int,
+                      engine) -> "LoopStrategy":
+        """Feed one measured changed-row frontier back into the strategy.
+
+        Returns the strategy that should own the loop from here on —
+        usually ``self``, or the demoted replacement."""
+        return self
+
+    def describe(self) -> str:
+        return self.name
+
+
+class FullRecompute(LoopStrategy):
+    """Rebuild everything, copy it back (the Fig. 8 baseline)."""
+
+    name = "full-recompute"
+
+
+class RenameInPlace(LoopStrategy):
+    """Rebuild everything, swap the result pointer (Fig. 8 optimized)."""
+
+    name = "rename-in-place"
+
+
+class FixpointIncremental(LoopStrategy):
+    """Recursive CTEs: per-trip work is the new-row frontier itself."""
+
+    name = "fixpoint-incremental"
+
+
+class DeltaLoopRuntime:
+    """Mutable per-loop state for the semi-naive delta path.
+
+    Created when the loop initializes (or by the first
+    :class:`DeltaGateStep` execution), populated by
+    :class:`DeltaCaptureStep` after a full iteration, consumed and updated
+    by the partition/apply steps on every delta iteration.
+    """
+
+    __slots__ = ("spec", "active", "disabled", "schema", "columns",
+                 "key_sorted", "key_positions", "in_working",
+                 "frontier_keys", "last_frontier", "pending_positions",
+                 "link_indexes")
+
+    def __init__(self, spec: DeltaSpec):
+        self.spec = spec
+        # Delta state captured and valid: the gate may take the delta path.
+        self.active = False
+        # Permanently off for this run (key validation failed, the keyset
+        # guard tripped, or the strategy demoted itself).
+        self.disabled = False
+        self.schema = None
+        # Column objects of the current CTE table (shared, immutable).
+        self.columns: list = []
+        # Sorted comparable key values + the row position of each.
+        self.key_sorted = None
+        self.key_positions = None
+        # Merge path only: per-row "key was in last iteration's working
+        # table" flags, which drive the merge join's row ordering.
+        self.in_working = None
+        # Comparable key values changed by the last iteration.
+        self.frontier_keys = None
+        self.last_frontier = 0
+        # Row positions gathered by the pending partition step.
+        self.pending_positions = None
+        # (table, src, dst) -> (sorted src values, dst values in that
+        # order) for frontier expansion through base tables.
+        self.link_indexes: dict = {}
+
+
+class SemiNaiveDelta(LoopStrategy):
+    """Frontier-driven partition recomputation, with self-demotion.
+
+    Each measured frontier (from delta capture after a full iteration, or
+    from delta apply after a delta iteration) feeds
+    :meth:`note_frontier`.  Once ``delta_demotion_patience`` consecutive
+    frontiers cover at least ``delta_demotion_threshold`` of the table,
+    the strategy disables its runtime — the gate then routes every later
+    iteration down the full body — and hands the loop to the strategy the
+    compiler emitted for that body (rename or copy).
+    """
+
+    name = "semi-naive-delta"
+
+    def __init__(self, spec: LoopSpec, options,
+                 runtime: DeltaLoopRuntime):
+        super().__init__(spec)
+        self.runtime = runtime
+        self._threshold = options.delta_demotion_threshold
+        self._patience = options.delta_demotion_patience
+        self._demotion_on = options.enable_strategy_demotion
+        self._streak = 0
+
+    def note_frontier(self, frontier: int, total: int,
+                      engine) -> LoopStrategy:
+        if not self._demotion_on or self.runtime.disabled:
+            return self
+        if total <= 0 or frontier < self._threshold * total:
+            self._streak = 0
+            return self
+        self._streak += 1
+        if self._streak < self._patience:
+            return self
+        self.runtime.disabled = True
+        self.runtime.active = False
+        fallback = (RenameInPlace(self.spec)
+                    if self.spec.movement == "rename"
+                    else FullRecompute(self.spec))
+        engine.record_demotion(self.spec.loop_id, self, fallback,
+                               frontier, total)
+        return fallback
+
+
+def choose_strategy(spec: LoopSpec, options,
+                    runtime: DeltaLoopRuntime = None) -> LoopStrategy:
+    """The statically best strategy for ``spec`` under ``options``.
+
+    This mirrors what the compiler emitted: delta steps exist exactly when
+    ``spec.delta`` is set, and the full body moves data by rename or copy
+    according to ``spec.movement``.
+    """
+    if spec.until_empty is not None:
+        return FixpointIncremental(spec)
+    if spec.delta is not None and runtime is not None:
+        return SemiNaiveDelta(spec, options, runtime)
+    if spec.movement == "rename":
+        return RenameInPlace(spec)
+    return FullRecompute(spec)
+
+
+@dataclass
+class DemotionRecord:
+    """One mid-loop strategy demotion, for reports and telemetry."""
+
+    iteration: int
+    from_name: str
+    to_name: str
+    frontier: int
+    total: int
+
+    def describe(self) -> str:
+        return (f"demoted {self.from_name} -> {self.to_name} after "
+                f"iteration {self.iteration} (frontier {self.frontier}"
+                f"/{self.total} rows)")
