@@ -1,12 +1,51 @@
-#!/usr/bin/env sh
-# Tier-1 combined smoke: the bench, observability and delta-evaluation
-# guards in one pytest invocation (< 30s).  Equivalent to running
-# check_bench_smoke.sh, check_obs_smoke.sh and check_delta_smoke.sh
-# back to back, minus two interpreter startups.
+#!/usr/bin/env bash
+# Tier-1 combined smoke: every guard in sequence, with per-guard failure
+# attribution — when something breaks, the summary names the guard that
+# failed instead of burying it in one merged pytest run.
+#
+# Guards (each also runnable standalone via its own script):
+#   bench      scripts/check_bench_smoke.sh   benchmark harness artifact
+#   obs        scripts/check_obs_smoke.sh     trace schema round trip
+#   delta      scripts/check_delta_smoke.sh   semi-naive delta evaluation
+#   lint       repro-lint + its pytest guard  engine lint (AST rules)
+#   tracediff  scripts/check_trace_diff.sh    native vs baseline diff
 #
 # Usage: scripts/check_all_smoke.sh [extra pytest args...]
-set -eu
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
-PYTHONPATH=src exec python -m pytest \
-    -m "bench_smoke or obs_smoke or delta_smoke" -q "$@"
+
+failed=""
+
+run_guard() {
+    name="$1"
+    shift
+    echo "== guard: $name =="
+    if "$@"; then
+        echo "== guard: $name ok =="
+    else
+        echo "== guard: $name FAILED ==" >&2
+        failed="$failed $name"
+    fi
+}
+
+run_pytest_guard() {
+    name="$1" marker="$2"
+    shift 2
+    run_guard "$name" env PYTHONPATH=src \
+        python -m pytest -m "$marker" -q "$@"
+}
+
+run_pytest_guard bench bench_smoke "$@"
+run_pytest_guard obs obs_smoke "$@"
+run_pytest_guard delta delta_smoke "$@"
+run_pytest_guard lint lint_smoke "$@"
+run_guard repro-lint env PYTHONPATH=src python -m repro.verify.lint
+run_pytest_guard tracediff tracediff_smoke "$@"
+run_guard trace-diff-cli scripts/check_trace_diff.sh
+
+if [ -n "$failed" ]; then
+    echo "smoke: FAILED guards:$failed" >&2
+    exit 1
+fi
+echo "smoke: all guards ok"

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Tier-1 trace-diff guard: run the same iterative query natively and
+# through the middleware baseline, export both traces, and require the
+# diff to agree (same iteration count, same delta_rows convergence
+# curve).  Exercises the repro.obs.tracediff CLI end to end, including
+# the JSON round trip through real files (< 15s).
+#
+# Usage: scripts/check_trace_diff.sh [extra pytest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+PYTHONPATH=src python - "$workdir" <<'EOF'
+import sys
+from pathlib import Path
+
+from repro.datasets import dblp_like, fresh_database
+from repro.middleware.driver import MiddlewareDriver
+from repro.workloads import pagerank_query
+
+out = Path(sys.argv[1])
+spec = dblp_like(nodes=80, seed=9)
+sql = pagerank_query(iterations=5)
+
+native = fresh_database(spec)
+native.options.enable_tracing = True
+native.execute(sql)
+(out / "native.json").write_text(native.trace_json(indent=2))
+
+baseline = fresh_database(spec)
+baseline.options.enable_tracing = True
+MiddlewareDriver(baseline).run(sql)
+(out / "middleware.json").write_text(baseline.trace_json(indent=2))
+EOF
+
+PYTHONPATH=src python -m repro.obs.tracediff --require-agreement \
+    "$workdir/native.json" "$workdir/middleware.json"
+
+PYTHONPATH=src python -m pytest -m tracediff_smoke -q "$@"

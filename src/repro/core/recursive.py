@@ -73,9 +73,10 @@ def emit_recursive_cte(cte: ast.CommonTableExpr,
     assert step_plan is not None
 
     base_plan = optimize_plan(rename_outputs(base_plan, columns, cte_name),
-                              state.options, state.estimator, state.tracer)
+                              state.options, state.estimator, state.tracer,
+                              context.catalog)
     step_plan = optimize_plan(step_plan, state.options, state.estimator,
-                              state.tracer)
+                              state.tracer, context.catalog)
 
     loop_id = next(state.loop_counter)
     spec = LoopSpec(loop_id=loop_id, termination=None,

@@ -122,11 +122,16 @@ def compile_statement(stmt: ast.SelectLike, context: PlanContext,
 
     final_plan = build_statement(final, state.context)
     final_plan = optimize_plan(final_plan, options, state.estimator,
-                               state.tracer)
+                               state.tracer, context.catalog)
     state.steps.append(ReturnStep(final_plan))
     if state.temp_results:
         state.steps.append(DropStep(list(state.temp_results)))
-    return Program(state.steps, state.loops)
+    program = Program(state.steps, state.loops)
+    if options.enable_plan_verifier:
+        from ..verify import verify_program
+        report = verify_program(program, "compile", context.catalog)
+        program.verifier_verdict = report.verdict()
+    return program
 
 
 # ---------------------------------------------------------------------------
@@ -184,10 +189,10 @@ def _emit_iterative(cte: ast.IterativeCte, state: CompilerState,
             init_plan = LogicalFilter(init_plan, pushed)
             state.stats.predicate_pushdowns += 1
     init_plan = optimize_plan(init_plan, options, state.estimator,
-                              state.tracer)
+                              state.tracer, context.catalog)
 
     step_plan = optimize_plan(step_plan, options, state.estimator,
-                              state.tracer)
+                              state.tracer, context.catalog)
 
     # -- §V-A: hoist loop-invariant join blocks out of Ri ------------------
     common_steps: list[MaterializeStep] = []
@@ -211,7 +216,8 @@ def _emit_iterative(cte: ast.IterativeCte, state: CompilerState,
                     cte_result=cte_result, cte_name=cte_name,
                     columns=columns,
                     movement=("rename" if options.enable_rename
-                              else "copy"))
+                              else "copy"),
+                    has_where=has_where)
     state.loops[loop_id] = spec
 
     # -- semi-naive delta rewrite (when provably per-key independent) ------
@@ -351,7 +357,7 @@ def _build_delta_step_plan(state: CompilerState, cte: ast.IterativeCte,
         partition, tuple(zip(columns, types)))
     plan = build_statement(delta_select, delta_context)
     return optimize_plan(plan, state.options, state.estimator,
-                        state.tracer)
+                        state.tracer, state.context.catalog)
 
 
 def _build_merge_plan(state: CompilerState, cte_name: str, cte_result: str,

@@ -283,6 +283,8 @@ class Database:
                                         estimator, tracer)
             if tracer.enabled:
                 span.set(steps=len(program.steps))
+                if program.verifier_verdict is not None:
+                    span.set(verifier=program.verifier_verdict)
         return program
 
     def _pending_loop_telemetry(self, tracer) -> list:

@@ -66,6 +66,24 @@ class DuplicateKeyError(ExecutionError):
     """
 
 
+class VerificationError(PlanError):
+    """The IR verifier (repro.verify) found a broken invariant.
+
+    Carries the name of the compiler/rewrite pass that produced the bad
+    IR plus every violated invariant, so the offending rewrite can be
+    identified from the error alone.
+    """
+
+    def __init__(self, pass_name: str, violations: list[str]):
+        self.pass_name = pass_name
+        self.violations = list(violations)
+        shown = "; ".join(self.violations[:4])
+        if len(self.violations) > 4:
+            shown += f"; ... {len(self.violations) - 4} more"
+        super().__init__(
+            f"IR verification failed after pass {pass_name!r}: {shown}")
+
+
 class RecursionNotSupportedError(PlanError):
     """ANSI recursive CTE restriction violations (aggregates, etc.)."""
 

@@ -7,9 +7,21 @@ for reporting.
 
 from __future__ import annotations
 
+import os
+import sys
 from dataclasses import dataclass, field
 
 from ..storage import Catalog, ResultRegistry
+
+
+def _default_plan_verifier() -> bool:
+    """Default for ``enable_plan_verifier``: explicit REPRO_VERIFY wins,
+    otherwise on under pytest/smoke runs and off in production — the
+    verifier is a correctness guard, not a hot-path cost."""
+    env = os.environ.get("REPRO_VERIFY")
+    if env is not None:
+        return env.strip().lower() not in ("", "0", "false", "no", "off")
+    return "PYTEST_CURRENT_TEST" in os.environ or "pytest" in sys.modules
 
 
 @dataclass
@@ -131,6 +143,13 @@ class SessionOptions:
     enable_strategy_demotion: bool = True
     delta_demotion_threshold: float = 0.8
     delta_demotion_patience: int = 2
+    # IR verifier (repro.verify): check schema/type propagation, step
+    # CFG integrity, and strategy legality after building, after each
+    # rewrite pass, and after compilation, raising VerificationError on
+    # the first malformed IR.  Defaults on under pytest/smoke (or with
+    # REPRO_VERIFY=1) and off otherwise.
+    enable_plan_verifier: bool = field(
+        default_factory=_default_plan_verifier)
     # Safety cap for runaway iterative queries.
     max_iterations: int = 100_000
 

@@ -2,9 +2,9 @@
 
 ``repro-smoke`` (see ``[project.scripts]`` in pyproject.toml) runs the
 same marker set as ``scripts/check_all_smoke.sh``: the bench,
-observability and delta-evaluation guards, in one pytest invocation.
-Pass ``--only bench|obs|delta`` to run a single guard, plus any extra
-pytest arguments after ``--``.
+observability, delta-evaluation, lint and trace-diff guards, in one
+pytest invocation.  Pass ``--only bench|obs|delta|lint|tracediff`` to
+run a single guard, plus any extra pytest arguments after ``--``.
 """
 
 from __future__ import annotations
@@ -17,6 +17,8 @@ _MARKERS = {
     "bench": "bench_smoke",
     "obs": "obs_smoke",
     "delta": "delta_smoke",
+    "lint": "lint_smoke",
+    "tracediff": "tracediff_smoke",
 }
 
 
@@ -30,9 +32,10 @@ def marker_expression(only: Optional[str] = None) -> str:
 def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-smoke",
-        description="Run the tier-1 smoke guards (bench + obs + delta).")
+        description="Run the tier-1 smoke guards (bench + obs + delta "
+                    "+ lint + tracediff).")
     parser.add_argument("--only", choices=sorted(_MARKERS),
-                        help="run a single guard instead of all three")
+                        help="run a single guard instead of all of them")
     parser.add_argument("pytest_args", nargs="*",
                         help="extra arguments forwarded to pytest "
                              "(prefix with --)")

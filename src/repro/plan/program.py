@@ -142,6 +142,11 @@ class LoopSpec:
     # The loop's semi-naive delta rewrite, when the safety analyzer
     # proved one; None keeps the loop on its full-body strategy.
     delta: Optional[DeltaSpec] = None
+    # Whether the iterative part carries a WHERE clause.  A WHERE body
+    # updates a subset of rows, so the working table must be merged into
+    # the main table before any rename/copy — the verifier uses this to
+    # reject rename-in-place programs that bypass the merge.
+    has_where: bool = False
 
     def annotation(self) -> str:
         if self.termination is None:
@@ -340,6 +345,10 @@ class Program:
 
     steps: list[Step]
     loops: dict[int, LoopSpec] = field(default_factory=dict)
+    # Verdict string set by the IR verifier when ``enable_plan_verifier``
+    # is on (e.g. "ok (41 checks over 12 steps)"); surfaces in EXPLAIN
+    # and in the compile span of traced runs.
+    verifier_verdict: Optional[str] = None
 
     def explain(self, verbose: bool = False) -> str:
         """Render the program in the numbered-step style of Table I."""
@@ -352,4 +361,6 @@ class Program:
             if verbose and isinstance(step, (MaterializeStep, ReturnStep)):
                 plan_text = plan_to_text(step.plan, indent=3)
                 lines.append(plan_text)
+        if self.verifier_verdict is not None:
+            lines.append(f"verifier: {self.verifier_verdict}")
         return "\n".join(lines)

@@ -46,7 +46,7 @@ __all__ = [
 
 
 def optimize_plan(plan: LogicalOp, options: SessionOptions,
-                  estimator=None, tracer=None) -> LogicalOp:
+                  estimator=None, tracer=None, catalog=None) -> LogicalOp:
     """The standard optimization-rewrite pipeline for one plan tree.
 
     ``estimator`` (a :class:`repro.stats.CardinalityEstimator`) unlocks
@@ -54,18 +54,42 @@ def optimize_plan(plan: LogicalOp, options: SessionOptions,
     (a :class:`repro.obs.Tracer`) wraps the pass in a ``rewrite`` phase
     span whose ``rule.<name>`` attributes count how often each rule
     actually changed the plan.
+
+    With the ``enable_plan_verifier`` option on, the IR verifier
+    (:mod:`repro.verify`) checks the incoming plan (attributed to the
+    ``build`` pass) and re-checks after every rewrite pass that changed
+    it, so a broken rewrite is caught at the pass that broke it.
     """
+    verifier = None
+    if options.enable_plan_verifier:
+        from ..verify.plans import verify_plan
+
+        def verifier(p: LogicalOp, pass_name: str) -> None:
+            verify_plan(p, f"rewrite:{pass_name}", catalog)
+
+        verify_plan(plan, "build", catalog)
+
     rules = [fold_plan_filters]
     if options.enable_predicate_pushdown:
         rules.append(push_filters)
     if options.enable_outer_to_inner:
         rules.append(outer_to_inner)
         rules.append(inner_over_left_commute)
+
+    def reorder(plan: LogicalOp, observer=None) -> LogicalOp:
+        if not options.enable_join_reorder or estimator is None:
+            return plan
+        reordered = reorder_joins(plan, estimator)
+        if reordered is not plan:
+            if observer is not None:
+                observer(reorder_joins)
+            if verifier is not None:
+                verifier(reordered, "reorder_joins")
+        return reordered
+
     if tracer is None or not tracer.enabled:
-        plan = apply_rules(plan, rules)
-        if options.enable_join_reorder and estimator is not None:
-            plan = reorder_joins(plan, estimator)
-        return plan
+        plan = apply_rules(plan, rules, verifier=verifier)
+        return reorder(plan)
 
     fired: dict[str, int] = {}
 
@@ -74,12 +98,8 @@ def optimize_plan(plan: LogicalOp, options: SessionOptions,
         fired[name] = fired.get(name, 0) + 1
 
     with tracer.span("rewrite", kind="phase") as span:
-        plan = apply_rules(plan, rules, observer)
-        if options.enable_join_reorder and estimator is not None:
-            reordered = reorder_joins(plan, estimator)
-            if reordered is not plan:
-                observer(reorder_joins)
-            plan = reordered
+        plan = apply_rules(plan, rules, observer, verifier=verifier)
+        plan = reorder(plan, observer)
         span.set(**{f"rule.{name}": count
                     for name, count in sorted(fired.items())})
     return plan

@@ -16,15 +16,21 @@ Rule = Callable[[LogicalOp], LogicalOp]
 # Called once per rule firing with the rule that changed a node; used by
 # the tracer to report which rewrites actually did something.
 RuleObserver = Callable[[Rule], None]
+# Called after every pass that changed the plan, with the rewritten plan
+# and the names of the rules that fired — the IR verifier hooks in here
+# so a malformed plan is attributed to the pass that produced it.
+PassVerifier = Callable[[LogicalOp, str], None]
 
 _MAX_PASSES = 16
 
 
 def apply_rules(plan: LogicalOp, rules: Sequence[Rule],
-                observer: Optional[RuleObserver] = None) -> LogicalOp:
+                observer: Optional[RuleObserver] = None,
+                verifier: Optional[PassVerifier] = None) -> LogicalOp:
     """Apply every rule bottom-up until a full pass changes nothing."""
     for _ in range(_MAX_PASSES):
         changed = False
+        fired: list[str] = []
 
         def visitor(node: LogicalOp) -> LogicalOp:
             nonlocal changed
@@ -32,6 +38,7 @@ def apply_rules(plan: LogicalOp, rules: Sequence[Rule],
                 replacement = rule(node)
                 if replacement is not node:
                     changed = True
+                    fired.append(getattr(rule, "__name__", str(rule)))
                     if observer is not None:
                         observer(rule)
                     node = replacement
@@ -40,4 +47,6 @@ def apply_rules(plan: LogicalOp, rules: Sequence[Rule],
         plan = transform(plan, visitor)
         if not changed:
             return plan
+        if verifier is not None:
+            verifier(plan, "+".join(sorted(set(fired))))
     return plan

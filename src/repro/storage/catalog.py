@@ -90,6 +90,13 @@ class Catalog:
     def exists(self, name: str) -> bool:
         return name.lower() in self._tables
 
+    def peek(self, name: str) -> Table | None:
+        """Uninstrumented lookup for introspection tools (the IR
+        verifier, EXPLAIN): returns None when absent instead of raising,
+        and does not count as a metadata lookup — introspection must not
+        perturb the overhead model's counters."""
+        return self._tables.get(name.lower())
+
     def table_names(self) -> list[str]:
         return sorted(self._tables)
 

@@ -1,0 +1,30 @@
+"""Static analysis for the engine's two IRs (the ISSUE-5 verifier).
+
+Two layers live here:
+
+* **IR verifier** — machine-checked invariants over logical plans
+  (:mod:`repro.verify.plans`) and step programs
+  (:mod:`repro.verify.programs`).  It runs after plan building, after
+  each rewrite pass (hooked into :mod:`repro.rewrite.framework`), and
+  after program compilation; violations raise a structured
+  :class:`repro.errors.VerificationError` naming the pass that produced
+  the bad IR.  Enabled per session via the ``enable_plan_verifier``
+  option, which defaults on under pytest/smoke runs.
+
+* **Engine lint** — AST-based repo-specific rules over the source tree
+  (:mod:`repro.verify.lint`), exposed as the ``repro-lint`` console
+  script and wired into the smoke suite.
+"""
+
+from ..errors import VerificationError
+from .plans import check_plan, verify_plan
+from .programs import VerificationReport, check_program, verify_program
+
+__all__ = [
+    "VerificationError",
+    "VerificationReport",
+    "check_plan",
+    "check_program",
+    "verify_plan",
+    "verify_program",
+]

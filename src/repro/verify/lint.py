@@ -1,0 +1,312 @@
+"""Engine lint: AST-based repo-specific rules (the ``repro-lint`` CLI).
+
+Four rule families, each encoding a convention the runtime refactor
+(unified loop runtime, PR 4) established but nothing enforced:
+
+* **handler-coverage** — every ``Step`` subclass declared in
+  :mod:`repro.plan.program` has a ``@handles(...)`` registration in
+  :mod:`repro.runtime.handlers`, and every registration names a real
+  ``Step`` subclass.  A step without a handler fails at run time with an
+  ``unknown step type`` dispatch error; this catches it statically.
+* **mutation-api** — handler modules touch ``ctx.registry`` only through
+  the documented mutation API (store/fetch/exists/rename/drop) and the
+  catalog only through read accessors (get/peek/exists); private
+  attribute access on either would bypass the accounting (renames,
+  bytes released, metadata lookups) the overhead model reads.
+* **deprecated-import** — no source module imports the deprecated
+  ``repro.core.runner`` internals; the compat shims themselves (and the
+  ``repro.core`` package exports) are the only exception.
+* **tracer-discipline** — span trees are built only through
+  :mod:`repro.obs`: no ``Tracer()``/``Span()`` construction outside the
+  known entry points, and every ``tracer.start(...)`` call sits under an
+  ``enabled``/``is not None`` guard so the untraced hot path never pays
+  for span objects (``NULL_TRACER`` short-circuits ``span()`` but a bare
+  unguarded ``start`` defeats the null-object pattern).
+
+Run as ``repro-lint`` (see ``[project.scripts]``) or
+``python -m repro.verify.lint``; exits non-zero on any finding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional
+
+_PACKAGE_ROOT = Path(__file__).resolve().parents[1]  # src/repro
+
+# Modules allowed to construct Tracer objects: the obs subsystem itself
+# plus the statement entry points that decide whether a run is traced.
+_TRACER_BUILDERS = (
+    "obs/",
+    "engine/database.py",
+    "middleware/driver.py",
+    "procedures/runner.py",
+)
+
+# The compat shims re-export the deprecated names on purpose.
+_DEPRECATED_IMPORT_EXEMPT = (
+    "core/__init__.py",
+    "core/runner.py",
+    "core/loop.py",
+)
+
+_REGISTRY_API = frozenset({"store", "fetch", "exists", "rename", "drop"})
+_CATALOG_API = frozenset({"get", "peek", "exists"})
+
+
+@dataclass
+class LintIssue:
+    """One finding: a file/line plus the rule that fired."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _relative(path: Path, root: Path) -> str:
+    try:
+        return str(path.relative_to(root))
+    except ValueError:
+        return str(path)
+
+
+def _parse_tree(path: Path) -> Optional[ast.Module]:
+    try:
+        return ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError:
+        return None
+
+
+def _parents(tree: ast.Module) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+class Linter:
+    """Runs every rule over one source tree (``src/repro`` by default)."""
+
+    def __init__(self, root: Optional[Path] = None):
+        self.root = root or _PACKAGE_ROOT
+        self.issues: list[LintIssue] = []
+        self._trees: dict[Path, ast.Module] = {}
+        for path in sorted(self.root.rglob("*.py")):
+            tree = _parse_tree(path)
+            if tree is None:
+                self._note(path, 1, "parse", "file does not parse")
+            else:
+                self._trees[path] = tree
+
+    def _note(self, path: Path, line: int, rule: str,
+              message: str) -> None:
+        self.issues.append(
+            LintIssue(_relative(path, self.root), line, rule, message))
+
+    def _rel(self, path: Path) -> str:
+        return _relative(path, self.root).replace("\\", "/")
+
+    # -- rule 1: handler coverage ------------------------------------------
+
+    def check_handler_coverage(self) -> None:
+        program = self.root / "plan" / "program.py"
+        tree = self._trees.get(program)
+        if tree is None:
+            self._note(program, 1, "handler-coverage",
+                       "repro/plan/program.py not found")
+            return
+        steps: dict[str, int] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and any(
+                    isinstance(base, ast.Name) and base.id == "Step"
+                    for base in node.bases):
+                steps[node.name] = node.lineno
+
+        handled: dict[str, tuple[Path, int]] = {}
+        for path, module in self._trees.items():
+            if "runtime/handlers" not in self._rel(path):
+                continue
+            for node in ast.walk(module):
+                if not isinstance(node, ast.FunctionDef):
+                    continue
+                for decorator in node.decorator_list:
+                    if isinstance(decorator, ast.Call) and isinstance(
+                            decorator.func, ast.Name) \
+                            and decorator.func.id == "handles":
+                        for arg in decorator.args:
+                            if isinstance(arg, ast.Name):
+                                handled[arg.id] = (path, decorator.lineno)
+
+        for name, line in sorted(steps.items()):
+            if name not in handled:
+                self._note(program, line, "handler-coverage",
+                           f"Step subclass {name} has no @handles "
+                           "registration in repro.runtime.handlers")
+        for name, (path, line) in sorted(handled.items()):
+            if name not in steps:
+                self._note(path, line, "handler-coverage",
+                           f"@handles({name}) names no Step subclass "
+                           "in repro.plan.program")
+
+    # -- rule 2: handler mutation API --------------------------------------
+
+    def check_mutation_api(self) -> None:
+        for path, module in self._trees.items():
+            if "runtime/handlers" not in self._rel(path):
+                continue
+            for node in ast.walk(module):
+                if not isinstance(node, ast.Attribute):
+                    continue
+                owner = node.value
+                if not isinstance(owner, (ast.Attribute, ast.Name)):
+                    continue
+                owner_name = owner.attr if isinstance(
+                    owner, ast.Attribute) else owner.id
+                if owner_name == "registry" and (
+                        node.attr.startswith("_")
+                        or node.attr not in _REGISTRY_API):
+                    self._note(path, node.lineno, "mutation-api",
+                               f"registry.{node.attr} is outside the "
+                               "documented mutation API "
+                               f"({'/'.join(sorted(_REGISTRY_API))})")
+                elif owner_name == "catalog" and (
+                        node.attr.startswith("_")
+                        or node.attr not in _CATALOG_API):
+                    self._note(path, node.lineno, "mutation-api",
+                               f"catalog.{node.attr} is outside the "
+                               "read-only accessors handlers may use "
+                               f"({'/'.join(sorted(_CATALOG_API))})")
+
+    # -- rule 3: deprecated imports ----------------------------------------
+
+    def check_deprecated_imports(self) -> None:
+        for path, module in self._trees.items():
+            rel = self._rel(path)
+            if any(rel.endswith(exempt)
+                   for exempt in _DEPRECATED_IMPORT_EXEMPT):
+                continue
+            for node in ast.walk(module):
+                if isinstance(node, ast.ImportFrom):
+                    name = node.module or ""
+                    if name == "core.runner" \
+                            or name.endswith(".core.runner"):
+                        self._note(path, node.lineno, "deprecated-import",
+                                   "imports the deprecated "
+                                   "repro.core.runner shim; use "
+                                   "repro.runtime instead")
+                elif isinstance(node, ast.Import):
+                    for alias in node.names:
+                        if alias.name.endswith("core.runner"):
+                            self._note(path, node.lineno,
+                                       "deprecated-import",
+                                       "imports the deprecated "
+                                       "repro.core.runner shim; use "
+                                       "repro.runtime instead")
+
+    # -- rule 4: tracer discipline -----------------------------------------
+
+    def _in_obs(self, path: Path) -> bool:
+        return self._rel(path).startswith("obs/")
+
+    def check_tracer_discipline(self) -> None:
+        for path, module in self._trees.items():
+            if self._in_obs(path):
+                continue
+            rel = self._rel(path)
+            may_build = any(rel.startswith(prefix) or rel == prefix
+                            for prefix in _TRACER_BUILDERS)
+            parents = None
+            for node in ast.walk(module):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if isinstance(func, ast.Name) \
+                        and func.id in ("Tracer", "Span") \
+                        and not may_build:
+                    self._note(path, node.lineno, "tracer-discipline",
+                               f"bare {func.id}() construction outside "
+                               "the traced entry points; pass a tracer "
+                               "down or use NULL_TRACER")
+                if isinstance(func, ast.Attribute) \
+                        and func.attr == "start" \
+                        and self._is_tracer_receiver(func.value):
+                    if parents is None:
+                        parents = _parents(module)
+                    if not self._guarded(node, parents):
+                        self._note(path, node.lineno, "tracer-discipline",
+                                   "tracer.start() without an "
+                                   "enabled/is-not-None guard bypasses "
+                                   "the NULL_TRACER fast path")
+
+    @staticmethod
+    def _is_tracer_receiver(node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return "tracer" in node.id.lower()
+        if isinstance(node, ast.Attribute):
+            return "tracer" in node.attr.lower()
+        return False
+
+    @staticmethod
+    def _guarded(node: ast.AST,
+                 parents: dict[ast.AST, ast.AST]) -> bool:
+        cursor = parents.get(node)
+        while cursor is not None:
+            if isinstance(cursor, (ast.If, ast.IfExp)):
+                dump = ast.dump(cursor.test)
+                if "attr='enabled'" in dump or "IsNot()" in dump:
+                    return True
+            cursor = parents.get(cursor)
+        return False
+
+    # -- entry point -------------------------------------------------------
+
+    def run(self) -> list[LintIssue]:
+        self.check_handler_coverage()
+        self.check_mutation_api()
+        self.check_deprecated_imports()
+        self.check_tracer_discipline()
+        return self.issues
+
+    @property
+    def file_count(self) -> int:
+        return len(self._trees)
+
+
+def run_lint(root: Optional[Path] = None) -> list[LintIssue]:
+    """All lint findings over ``root`` (default: the installed package)."""
+    return Linter(root).run()
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based engine lint (handler coverage, mutation "
+                    "API, deprecated imports, tracer discipline).")
+    parser.add_argument("--root", type=Path, default=None,
+                        help="package root to lint (default: the "
+                             "installed repro package)")
+    args = parser.parse_args(argv)
+
+    linter = Linter(args.root)
+    issues = linter.run()
+    for issue in issues:
+        print(issue.render())
+    if issues:
+        print(f"repro-lint: {len(issues)} issue(s) in "
+              f"{linter.file_count} files")
+        return 1
+    print(f"repro-lint: ok ({linter.file_count} files, 4 rule families)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

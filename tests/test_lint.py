@@ -1,0 +1,165 @@
+"""Engine lint: clean on the real tree, non-vacuous on seeded trees.
+
+The ``lint_smoke`` marker runs the real-tree check as a tier-1 guard
+(the same thing ``repro-lint`` does in CI); the seeded-tree tests prove
+each rule family actually fires by building tiny synthetic package
+trees with one violation each.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.verify.lint import Linter, main, run_lint
+
+
+@pytest.mark.lint_smoke
+class TestRealTree:
+    def test_package_tree_is_clean(self):
+        issues = run_lint()
+        assert issues == [], "\n".join(i.render() for i in issues)
+
+    def test_cli_exit_zero(self, capsys):
+        assert main([]) == 0
+        assert "repro-lint: ok" in capsys.readouterr().out
+
+
+def _tree(tmp_path, files):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return tmp_path
+
+
+# A minimal program.py/handlers pair with full coverage, used as the
+# clean baseline each seeded violation perturbs.
+_CLEAN = {
+    "plan/program.py": """
+        class Step:
+            pass
+
+        class MoveStep(Step):
+            pass
+        """,
+    "runtime/handlers/core.py": """
+        @handles(MoveStep)
+        def run_move(runner, step):
+            runner.ctx.registry.rename(step.source, step.target)
+        """,
+}
+
+
+def _rules(issues):
+    return {issue.rule for issue in issues}
+
+
+class TestSeededViolations:
+    def test_clean_baseline(self, tmp_path):
+        assert run_lint(_tree(tmp_path, _CLEAN)) == []
+
+    def test_unhandled_step_detected(self, tmp_path):
+        files = dict(_CLEAN)
+        files["plan/program.py"] += \
+            "\n        class OrphanStep(Step):\n            pass\n"
+        issues = run_lint(_tree(tmp_path, files))
+        assert _rules(issues) == {"handler-coverage"}
+        assert any("OrphanStep" in i.message for i in issues)
+
+    def test_handler_for_ghost_step_detected(self, tmp_path):
+        files = dict(_CLEAN)
+        files["runtime/handlers/core.py"] += (
+            "\n        @handles(GhostStep)\n"
+            "        def run_ghost(runner, step):\n"
+            "            pass\n")
+        issues = run_lint(_tree(tmp_path, files))
+        assert _rules(issues) == {"handler-coverage"}
+        assert any("GhostStep" in i.message for i in issues)
+
+    def test_private_registry_access_detected(self, tmp_path):
+        files = dict(_CLEAN)
+        files["runtime/handlers/core.py"] = """
+            @handles(MoveStep)
+            def run_move(runner, step):
+                runner.ctx.registry._tables.pop(step.source)
+            """
+        issues = run_lint(_tree(tmp_path, files))
+        assert _rules(issues) == {"mutation-api"}
+        assert any("registry._tables" in i.message for i in issues)
+
+    def test_catalog_mutation_detected(self, tmp_path):
+        files = dict(_CLEAN)
+        files["runtime/handlers/core.py"] = """
+            @handles(MoveStep)
+            def run_move(runner, step):
+                runner.ctx.catalog.register(step.target)
+            """
+        issues = run_lint(_tree(tmp_path, files))
+        assert _rules(issues) == {"mutation-api"}
+
+    def test_deprecated_import_detected(self, tmp_path):
+        files = dict(_CLEAN)
+        files["engine/database.py"] = \
+            "from .core.runner import run_program\n"
+        issues = run_lint(_tree(tmp_path, files))
+        assert _rules(issues) == {"deprecated-import"}
+
+    def test_compat_shim_is_exempt(self, tmp_path):
+        files = dict(_CLEAN)
+        files["core/loop.py"] = "from .core.runner import run_program\n"
+        assert run_lint(_tree(tmp_path, files)) == []
+
+    def test_bare_tracer_construction_detected(self, tmp_path):
+        files = dict(_CLEAN)
+        files["execution/helper.py"] = """
+            def run(plan):
+                tracer = Tracer()
+                return tracer
+            """
+        issues = run_lint(_tree(tmp_path, files))
+        assert _rules(issues) == {"tracer-discipline"}
+
+    def test_tracer_entry_points_may_build(self, tmp_path):
+        files = dict(_CLEAN)
+        files["engine/database.py"] = """
+            def execute(sql, options):
+                tracer = Tracer() if options.enable_tracing else NULL_TRACER
+                return tracer
+            """
+        assert run_lint(_tree(tmp_path, files)) == []
+
+    def test_unguarded_start_detected(self, tmp_path):
+        files = dict(_CLEAN)
+        files["execution/helper.py"] = """
+            def run(tracer):
+                span = tracer.start("phase")
+                return span
+            """
+        issues = run_lint(_tree(tmp_path, files))
+        assert _rules(issues) == {"tracer-discipline"}
+        assert any("NULL_TRACER" in i.message for i in issues)
+
+    def test_guarded_start_is_clean(self, tmp_path):
+        files = dict(_CLEAN)
+        files["execution/helper.py"] = """
+            def run(tracer):
+                span = None
+                if tracer.enabled:
+                    span = tracer.start("phase")
+                return span
+            """
+        assert run_lint(_tree(tmp_path, files)) == []
+
+    def test_syntax_error_reported_not_crashed(self, tmp_path):
+        files = dict(_CLEAN)
+        files["broken.py"] = "def nope(:\n"
+        issues = run_lint(_tree(tmp_path, files))
+        assert _rules(issues) == {"parse"}
+
+    def test_cli_exit_nonzero_on_findings(self, tmp_path, capsys):
+        files = dict(_CLEAN)
+        files["plan/program.py"] += \
+            "\n        class OrphanStep(Step):\n            pass\n"
+        root = _tree(tmp_path, files)
+        assert main(["--root", str(root)]) == 1
+        assert "handler-coverage" in capsys.readouterr().out

@@ -1,0 +1,321 @@
+"""IR verifier mutation harness.
+
+Compiles real programs (rename-in-place iterative, semi-naive delta,
+recursive fixpoint, WHERE-body merge), corrupts each one in a systematic
+way, and requires the verifier to reject every corruption with a
+structured, pass-attributed :class:`VerificationError`.  The pristine
+programs must verify clean — the full test suite running with
+``enable_plan_verifier`` on is the zero-false-positive check; this file
+is the zero-false-negative one.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.rewrite import compile_statement
+from repro.datasets import dblp_like, generate_edges
+from repro.engine.database import Database
+from repro.errors import VerificationError
+from repro.execution import SessionOptions
+from repro.plan import PlanContext
+from repro.plan.logical import LogicalTempScan
+from repro.plan.program import CopyStep, DropStep
+from repro.sql import ast, parse
+from repro.types import SqlType
+from repro.verify import check_plan, check_program, verify_program
+from repro.workloads import sssp_query
+
+EDGES = generate_edges(dblp_like(nodes=60, seed=3))
+
+RECURSIVE_SQL = """
+WITH RECURSIVE reach (node) AS (
+  SELECT dst FROM edges WHERE src = 1
+  UNION
+  SELECT e.dst FROM reach r JOIN edges e ON e.src = r.node
+) SELECT node FROM reach"""
+
+WHERE_SQL = """
+WITH ITERATIVE r (node, v) AS (
+  SELECT src, 0.0 FROM edges GROUP BY src
+  ITERATE SELECT r.node, min(r.v + e.weight)
+          FROM r JOIN edges e ON e.src = r.node
+          WHERE r.v < 2.0
+          GROUP BY r.node
+  UNTIL 3 ITERATIONS
+) SELECT node, v FROM r ORDER BY node"""
+
+
+def _graph_db(**options) -> Database:
+    db = Database(SessionOptions(**options))
+    db.create_table("edges", [("src", SqlType.INTEGER),
+                              ("dst", SqlType.INTEGER),
+                              ("weight", SqlType.FLOAT)])
+    db.load_rows("edges", EDGES)
+    return db
+
+
+def _compile(db, sql):
+    return compile_statement(parse(sql), PlanContext(db.catalog),
+                             db.options, db.stats)
+
+
+def _fresh(shape):
+    """(program, catalog) for one of the four program shapes, compiled
+    fresh so mutations never leak between tests."""
+    if shape == "iterative":
+        db = _graph_db(enable_delta_iteration=False)
+        sql = sssp_query(source=1, iterations=5)
+    elif shape == "delta":
+        db = _graph_db(enable_delta_iteration=True)
+        sql = sssp_query(source=1, iterations=5)
+    elif shape == "recursive":
+        db = _graph_db()
+        sql = RECURSIVE_SQL
+    elif shape == "where":
+        db = _graph_db(enable_delta_iteration=False)
+        sql = WHERE_SQL
+    else:  # pragma: no cover
+        raise AssertionError(shape)
+    return _compile(db, sql), db.catalog
+
+
+def _first_column_ref(node):
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, ast.ColumnRef):
+            return current
+        if dataclasses.is_dataclass(current):
+            stack.extend(getattr(current, f.name)
+                         for f in dataclasses.fields(current))
+        elif isinstance(current, (list, tuple)):
+            stack.extend(current)
+    raise AssertionError("plan has no ColumnRef to corrupt")
+
+
+# -- the mutation catalogue -------------------------------------------------
+#
+# Step layouts the index-based corruptions rely on (from _emit_iterative /
+# _emit_recursive; the layout tests below pin them):
+#
+#   iterative/where: 0 mat cte, 1 init, 2 mat work, 3 dupcheck,
+#                    4 mat merge, 5 rename, 6 inc, 7 loop, 8 ret, 9 drop
+#   delta:           0 mat cte, 1 init, 2 gate, 3 partition, 4 mat dwork,
+#                    5 dupcheck, 6 apply, 7 snapshot, 8 mat work,
+#                    9 dupcheck, 10 mat merge, 11 rename, 12 capture,
+#                    13 inc, 14 loop, 15 ret, 16 drop
+#   recursive:       0 mat cte, 1 mat work, 2 init, 3 mat cand,
+#                    4 merge, 5 loop, 6 ret, 7 drop
+
+
+def _mut_jump_past_end(program):
+    program.steps[7].jump_to = 99
+
+
+def _mut_unpatched_delta_jump(program):
+    program.steps[2].jump_full = -1
+
+
+def _mut_drop_delta_capture(program):
+    program.steps[12] = DropStep([])
+
+
+def _mut_drop_init(program):
+    program.steps[1] = DropStep([])
+
+
+def _mut_drop_increment(program):
+    program.steps[6] = DropStep([])
+
+
+def _mut_drop_return(program):
+    program.steps[8] = DropStep([])
+
+
+def _mut_rename_undefined_source(program):
+    program.steps[5].source = "__ghost"
+
+
+def _mut_plan_scans_ghost_temp(program):
+    scan = next(op for op in program.steps[4].plan.walk()
+                if isinstance(op, LogicalTempScan))
+    object.__setattr__(scan, "result_name", "__ghost")
+
+
+def _mut_drop_live_table(program):
+    program.steps[3] = DropStep([program.loops[0].cte_result])
+
+
+def _mut_orphan_snapshot(program):
+    program.steps[7].target = "__orphan"
+
+
+def _mut_materialize_arity(program):
+    program.steps[0].column_names = \
+        list(program.steps[0].column_names) + ["extra"]
+
+
+def _mut_return_plan_bad_column(program):
+    ref = _first_column_ref(program.steps[8].plan)
+    object.__setattr__(ref, "name", "no_such_column")
+
+
+def _mut_movement_kind_flip(program):
+    old = program.steps[5]
+    program.steps[5] = CopyStep(source=old.source, target=old.target)
+
+
+def _mut_rename_bypasses_merge(program):
+    program.steps[5].source = program.steps[2].result_name
+
+
+def _mut_unknown_loop_id(program):
+    program.steps[6].loop_id = 7
+
+
+def _mut_swap_gate_partition(program):
+    program.steps[2], program.steps[3] = \
+        program.steps[3], program.steps[2]
+
+
+def _mut_merge_feeds_wrong_working(program):
+    program.steps[4].working = "__other"
+
+
+MUTATIONS = [
+    ("jump_past_end", "iterative", _mut_jump_past_end,
+     "past the end"),
+    ("unpatched_delta_jump", "delta", _mut_unpatched_delta_jump,
+     "never patched"),
+    ("missing_delta_capture", "delta", _mut_drop_delta_capture,
+     "DeltaCaptureStep"),
+    ("missing_init_loop", "iterative", _mut_drop_init,
+     "InitLoopStep"),
+    ("missing_increment", "iterative", _mut_drop_increment,
+     "IncrementLoopStep"),
+    ("missing_return", "iterative", _mut_drop_return,
+     "ReturnSteps, expected 1"),
+    ("rename_undefined_source", "iterative", _mut_rename_undefined_source,
+     "reads '__ghost'"),
+    ("plan_scans_ghost_temp", "iterative", _mut_plan_scans_ghost_temp,
+     "reads '__ghost'"),
+    ("drop_live_table", "iterative", _mut_drop_live_table,
+     "drops live result"),
+    ("orphan_snapshot", "delta", _mut_orphan_snapshot,
+     "never consumed"),
+    ("materialize_arity", "iterative", _mut_materialize_arity,
+     "column names"),
+    ("return_plan_bad_column", "iterative", _mut_return_plan_bad_column,
+     "no_such_column"),
+    ("movement_kind_flip", "iterative", _mut_movement_kind_flip,
+     "declares movement"),
+    ("rename_bypasses_merge", "where", _mut_rename_bypasses_merge,
+     "without merging"),
+    ("unknown_loop_id", "iterative", _mut_unknown_loop_id,
+     "unknown loop 7"),
+    ("swap_gate_partition", "delta", _mut_swap_gate_partition,
+     "out of order"),
+    ("merge_feeds_wrong_working", "recursive",
+     _mut_merge_feeds_wrong_working, "RecursiveMergeStep"),
+]
+
+
+class TestPristinePrograms:
+    @pytest.mark.parametrize(
+        "shape", ["iterative", "delta", "recursive", "where"])
+    def test_compiles_clean(self, shape):
+        program, catalog = _fresh(shape)
+        assert check_program(program, catalog) == []
+
+    def test_compile_attaches_verdict(self):
+        program, _ = _fresh("iterative")
+        assert program.verifier_verdict is not None
+        assert program.verifier_verdict.startswith("ok (")
+        assert f"verifier: {program.verifier_verdict}" \
+            in program.explain()
+
+
+class TestMutations:
+    @pytest.mark.parametrize(
+        "name,shape,mutate,expected",
+        MUTATIONS, ids=[m[0] for m in MUTATIONS])
+    def test_corruption_rejected(self, name, shape, mutate, expected):
+        program, catalog = _fresh(shape)
+        mutate(program)
+        violations = check_program(program, catalog)
+        assert violations, f"{name}: corruption went undetected"
+        assert any(expected in v for v in violations), \
+            f"{name}: none of {violations!r} mentions {expected!r}"
+
+    @pytest.mark.parametrize(
+        "name,shape,mutate,expected",
+        MUTATIONS, ids=[m[0] for m in MUTATIONS])
+    def test_error_names_the_pass(self, name, shape, mutate, expected):
+        program, catalog = _fresh(shape)
+        mutate(program)
+        with pytest.raises(VerificationError) as excinfo:
+            verify_program(program, f"mutation:{name}", catalog)
+        error = excinfo.value
+        assert error.pass_name == f"mutation:{name}"
+        assert any(expected in v for v in error.violations)
+        assert f"after pass 'mutation:{name}'" in str(error)
+
+
+class TestErrorStructure:
+    def test_long_violation_lists_are_elided(self):
+        error = VerificationError(
+            "compile", [f"violation {i}" for i in range(7)])
+        assert error.pass_name == "compile"
+        assert len(error.violations) == 7
+        assert "... 3 more" in str(error)
+
+    def test_plan_checker_rejects_unknown_base_column(self):
+        # The recursive base case scans the edges table directly, so its
+        # materializing plan is a convenient plan-over-base-table victim.
+        program, catalog = _fresh("recursive")
+        plan = program.steps[0].plan
+        ref = _first_column_ref(plan)
+        object.__setattr__(ref, "name", "no_such_column")
+        violations = check_plan(plan, catalog)
+        assert any("no_such_column" in v for v in violations)
+
+
+class TestVerifierToggle:
+    def test_pytest_runs_default_on(self):
+        # PYTEST_CURRENT_TEST is set while this test runs, so the
+        # factory default must be on — the whole suite doubles as the
+        # zero-false-positive corpus.
+        assert SessionOptions().enable_plan_verifier
+
+    def test_env_override_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY", "0")
+        assert not SessionOptions().enable_plan_verifier
+        monkeypatch.setenv("REPRO_VERIFY", "1")
+        assert SessionOptions().enable_plan_verifier
+
+    def test_disabled_sessions_skip_verification(self):
+        db = _graph_db(enable_plan_verifier=False)
+        program = _compile(db, sssp_query(source=1, iterations=3))
+        assert program.verifier_verdict is None
+
+    def test_verdict_reaches_explain_output(self):
+        db = _graph_db()
+        report = db.explain(sssp_query(source=1, iterations=3))
+        assert "verifier: ok (" in report
+
+    def test_verdict_reaches_trace_json(self):
+        import json
+
+        db = _graph_db(enable_tracing=True)
+        db.execute(sssp_query(source=1, iterations=3))
+        trace = json.loads(db.trace_json())
+
+        def spans(span):
+            yield span
+            for child in span["children"]:
+                yield from spans(child)
+
+        compile_span = next(s for s in spans(trace["root"])
+                            if s["name"] == "compile")
+        assert compile_span["attributes"]["verifier"].startswith("ok (")
