@@ -30,7 +30,6 @@ Run directly for the JSON summary:
 from __future__ import annotations
 
 import json
-import time
 from collections import Counter
 
 import numpy as np
@@ -38,8 +37,8 @@ import numpy as np
 from repro import Database
 from repro.harness import (
     Comparison,
-    Measurement,
     print_figure,
+    time_fresh,
     write_bench_artifact,
 )
 from repro.types import SqlType
@@ -96,27 +95,32 @@ def tables_bit_identical(left, right) -> bool:
     return True
 
 
-def timed_pair(name, sql, edges) -> tuple[Comparison, bool, int]:
-    """Delta-off (baseline) vs delta-on (optimized) on fresh databases.
-
-    One timed run per mode: both modes share the kernel cache design of
-    warming inside the loop, so repeats would measure warm state rather
-    than one query end to end."""
+def timed_pair(name, sql, edges,
+               repeats=3, warmup=1) -> tuple[Comparison, bool, int]:
+    """Delta-off (baseline) vs delta-on (optimized), every sample on a
+    fresh database: per-run state (kernel cache, loop strategies) warms
+    *inside* the loop by design and is part of what is measured, so the
+    repeats rebuild the engine instead of re-running a warm one."""
     results = {}
-    seconds = {}
+    measurements = {}
     delta_iterations = 0
     for delta_on in (False, True):
-        db = _graph_db(edges, delta_on)
-        started = time.perf_counter()
-        results[delta_on] = db.execute(sql).table
-        seconds[delta_on] = time.perf_counter() - started
+        captured = {}
+
+        def run(db, captured=captured):
+            captured["table"] = db.execute(sql).table
+            captured["delta_iterations"] = db.stats.delta_iterations
+
+        measurements[delta_on] = time_fresh(
+            f"{name}/delta-{'on' if delta_on else 'off'}",
+            lambda delta_on=delta_on: _graph_db(edges, delta_on),
+            run, repeats=repeats, warmup=warmup)
+        results[delta_on] = captured["table"]
         if delta_on:
-            delta_iterations = db.stats.delta_iterations
+            delta_iterations = captured["delta_iterations"]
     identical = tables_bit_identical(results[True], results[False])
-    comparison = Comparison(
-        name,
-        Measurement(f"{name}/delta-off", seconds[False], 1),
-        Measurement(f"{name}/delta-on", seconds[True], 1))
+    comparison = Comparison(name, measurements[False],
+                            measurements[True])
     return comparison, identical, delta_iterations
 
 

@@ -33,8 +33,8 @@ import numpy as np
 from repro import Database
 from repro.harness import (
     Comparison,
-    Measurement,
     print_figure,
+    time_fresh,
     write_bench_artifact,
 )
 from repro.types import SqlType
@@ -99,27 +99,25 @@ def tables_bit_identical(left, right) -> bool:
         for lc, rc in zip(left.columns, right.columns))
 
 
-def timed_pair(name, make_db, sql, edges) -> tuple[Comparison, bool]:
-    """Cache-off (baseline) vs cache-on (optimized) on fresh databases.
-
-    One timed run per mode: the kernel cache persists across statements
-    by design, so repeats of the cached run would measure a warm cache
-    rather than one query's end-to-end time.
-    """
-    import time
-
+def timed_pair(name, make_db, sql, edges,
+               repeats=3, warmup=1) -> tuple[Comparison, bool]:
+    """Cache-off (baseline) vs cache-on (optimized), every sample on a
+    fresh database: the kernel cache persists across statements by
+    design, so the repeats rebuild the engine rather than re-running a
+    warm cache — each sample is one cold query end to end."""
     results = {}
-    seconds = {}
+    measurements = {}
     for cache_on in (False, True):
-        db = make_db(edges, cache_on)
-        started = time.perf_counter()
-        results[cache_on] = db.execute(sql).table
-        seconds[cache_on] = time.perf_counter() - started
+        captured = {}
+        measurements[cache_on] = time_fresh(
+            f"{name}/cache-{'on' if cache_on else 'off'}",
+            lambda cache_on=cache_on: make_db(edges, cache_on),
+            lambda db: captured.__setitem__("table", db.execute(sql).table),
+            repeats=repeats, warmup=warmup)
+        results[cache_on] = captured["table"]
     identical = tables_bit_identical(results[True], results[False])
-    comparison = Comparison(
-        name,
-        Measurement(f"{name}/cache-off", seconds[False], 1),
-        Measurement(f"{name}/cache-on", seconds[True], 1))
+    comparison = Comparison(name, measurements[False],
+                            measurements[True])
     return comparison, identical
 
 

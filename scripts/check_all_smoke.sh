@@ -8,6 +8,7 @@
 #   obs        scripts/check_obs_smoke.sh     trace schema round trip
 #   delta      scripts/check_delta_smoke.sh   semi-naive delta evaluation
 #   lint       repro-lint + its pytest guard  engine lint (AST rules)
+#   procedures tests/test_procedures_smoke.py stored-procedure baseline
 #   tracediff  scripts/check_trace_diff.sh    native vs baseline diff
 #
 # Usage: scripts/check_all_smoke.sh [extra pytest args...]
@@ -41,6 +42,7 @@ run_pytest_guard obs obs_smoke "$@"
 run_pytest_guard delta delta_smoke "$@"
 run_pytest_guard lint lint_smoke "$@"
 run_guard repro-lint env PYTHONPATH=src python -m repro.verify.lint
+run_pytest_guard procedures procedures_smoke "$@"
 run_pytest_guard tracediff tracediff_smoke "$@"
 run_guard trace-diff-cli scripts/check_trace_diff.sh
 

@@ -43,6 +43,7 @@ from ..plan.program import (
     CountUpdatesStep,
     DeltaApplyStep,
     DeltaCaptureStep,
+    DeltaFusedStep,
     DeltaGateStep,
     DeltaPartitionStep,
     DeltaSpec,
@@ -247,7 +248,18 @@ def _emit_iterative(cte: ast.IterativeCte, state: CompilerState,
     steps.append(InitLoopStep(spec))
 
     loop_start = len(steps)
-    if delta_spec is not None:
+    fused = None
+    if delta_spec is not None and options.enable_delta_fusion:
+        # Fused shape: one batched columnar step replaces the
+        # gate/partition/materialize/dup-check/apply quintet.
+        fused = DeltaFusedStep(delta_spec, delta_plan, columns,
+                               dup_check=has_where)
+        steps.append(fused)
+        # Delta capture always needs the previous iteration to diff
+        # against, even when the termination condition does not.
+        fused.jump_full = len(steps)
+        steps.append(SnapshotStep(cte_result, previous))
+    elif delta_spec is not None:
         gate = DeltaGateStep(delta_spec)
         apply_step = DeltaApplyStep(delta_spec)
         steps.append(gate)
@@ -305,8 +317,12 @@ def _emit_iterative(cte: ast.IterativeCte, state: CompilerState,
                                       loop_id))
     if delta_spec is not None:
         steps.append(DeltaCaptureStep(delta_spec, previous))
-        apply_step.jump_to = len(steps)
-        gate.jump_done = len(steps)
+        if fused is not None:
+            fused.jump_to = len(steps)
+            fused.jump_done = len(steps)
+        else:
+            apply_step.jump_to = len(steps)
+            gate.jump_done = len(steps)
     steps.append(IncrementLoopStep(loop_id))
     steps.append(LoopStep(loop_id, loop_start))
 

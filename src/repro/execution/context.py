@@ -69,6 +69,19 @@ class ExecutionStats:
     # Delta-apply keyset-guard trips: an INNER-join body dropped a key
     # and the iteration was rerun through the full body.
     delta_guard_fallbacks: int = 0
+    # Mid-loop strategy promotions: the movement fallback a demoted loop
+    # landed on observed the frontier collapsing again and handed the
+    # loop back to a fresh semi-naive delta strategy.
+    strategy_promotions: int = 0
+    # Iterations served by the fused delta pass (gate + partition +
+    # recompute + apply in one batched columnar step).
+    delta_fused_iterations: int = 0
+    # Morsel-driven parallelism: batches dispatched, batches that ran on
+    # the worker pool (vs. the single-threaded fallback), and rows
+    # processed through morsel-split operators.
+    morsel_batches: int = 0
+    morsel_parallel_batches: int = 0
+    morsel_rows: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return dict(self.__dict__)
@@ -143,6 +156,31 @@ class SessionOptions:
     enable_strategy_demotion: bool = True
     delta_demotion_threshold: float = 0.8
     delta_demotion_patience: int = 2
+    # Feedback-driven strategy *promotion* (the demotion mirror): a loop
+    # demoted to its movement fallback keeps measuring the changed-row
+    # frontier; once it stays below `delta_promotion_threshold` of the
+    # table for `delta_promotion_patience` consecutive measurements, the
+    # engine re-promotes the loop to a fresh semi-naive delta strategy.
+    # The promote threshold sits well under the demote threshold so the
+    # pair forms a hysteresis band and cannot ping-pong every iteration.
+    enable_strategy_promotion: bool = True
+    delta_promotion_threshold: float = 0.5
+    delta_promotion_patience: int = 2
+    # Fuse the semi-naive delta quartet (gate/partition/apply plus the
+    # recompute materialization) into one batched columnar step, so a
+    # delta iteration costs a single dispatch instead of five.  The
+    # quartet emission remains available (fusion off) and both shapes
+    # pass the verifier's strategy-legality checks.
+    enable_delta_fusion: bool = True
+    # Morsel-driven parallelism: split large scans/filters/projections
+    # and join probes into fixed-size row chunks dispatched across a
+    # thread pool (NumPy kernels release the GIL).  Inputs smaller than
+    # `morsel_min_rows` stay on the single-threaded path — below the
+    # threshold the dispatch overhead exceeds the kernel work.
+    parallel_morsels: bool = False
+    morsel_size: int = 16_384
+    morsel_workers: int = 4
+    morsel_min_rows: int = 65_536
     # IR verifier (repro.verify): check schema/type propagation, step
     # CFG integrity, and strategy legality after building, after each
     # rewrite pass, and after compilation, raising VerificationError on

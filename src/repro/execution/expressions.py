@@ -396,12 +396,16 @@ def _fn_round(args: list[Column], count: int) -> Column:
             raise ExecutionError("ROUND digit count must not be NULL")
         unique = np.unique(args[1].data)
         if len(unique) != 1:
-            # Per-row digit counts: fall back to a loop.
-            data = np.zeros(count, dtype=np.float64)
-            for i in range(count):
-                if not value.mask[i]:
-                    data[i] = round(float(value.data[i]),
-                                    int(args[1].data[i]))
+            # Per-row digit counts: bulk-convert once, round per row
+            # (Python round keeps the decimal semantics of the scalar
+            # path; only the numpy indexing round-trips are gone).
+            raw = value.data.tolist()
+            digits_raw = args[1].data.tolist()
+            nulls = value.mask.tolist()
+            data = np.fromiter(
+                (0.0 if null else round(float(v), int(d))
+                 for v, d, null in zip(raw, digits_raw, nulls)),
+                dtype=np.float64, count=count)
             return Column(SqlType.FLOAT, data, value.mask.copy())
         digits = int(unique[0])
     data = np.round(value.data, digits)
@@ -444,8 +448,10 @@ def _text_unary(fn: Callable[[str], object], result_type: SqlType):
     def handler(args: list[Column], count: int) -> Column:
         _require_args("text function", args, 1)
         arg = args[0].cast(SqlType.TEXT)
-        values = [None if arg.mask[i] else fn(arg.data[i])
-                  for i in range(count)]
+        raw = arg.data.tolist()
+        nulls = arg.mask.tolist()
+        values = [None if null else fn(value)
+                  for value, null in zip(raw, nulls)]
         return Column.from_values(result_type, values)
     return handler
 
@@ -453,10 +459,15 @@ def _text_unary(fn: Callable[[str], object], result_type: SqlType):
 def _fn_concat(args: list[Column], count: int) -> Column:
     # PostgreSQL CONCAT treats NULL as empty string.
     casts = [a.cast(SqlType.TEXT) for a in args]
-    values = []
-    for i in range(count):
-        parts = ["" if c.mask[i] else str(c.data[i]) for c in casts]
-        values.append("".join(parts))
+    if not casts:
+        return Column.from_values(SqlType.TEXT, [""] * count)
+    columns = []
+    for cast in casts:
+        raw = cast.data.tolist()
+        nulls = cast.mask.tolist()
+        columns.append(["" if null else str(value)
+                        for value, null in zip(raw, nulls)])
+    values = ["".join(parts) for parts in zip(*columns)]
     return Column.from_values(SqlType.TEXT, values)
 
 
@@ -465,8 +476,11 @@ def _concat(left: Column, right: Column) -> Column:
     left = left.cast(SqlType.TEXT)
     right = right.cast(SqlType.TEXT)
     mask = left.mask | right.mask
-    values = [None if mask[i] else f"{left.data[i]}{right.data[i]}"
-              for i in range(len(left))]
+    left_raw = left.data.tolist()
+    right_raw = right.data.tolist()
+    nulls = mask.tolist()
+    values = [None if null else f"{a}{b}"
+              for a, b, null in zip(left_raw, right_raw, nulls)]
     return Column.from_values(SqlType.TEXT, values)
 
 
@@ -475,15 +489,21 @@ def _like(value: Column, pattern: Column) -> Column:
     pattern = pattern.cast(SqlType.TEXT)
     mask = value.mask | pattern.mask
     count = len(value)
-    data = np.zeros(count, dtype=np.bool_)
+    raw = value.data.tolist()
+    pats = pattern.data.tolist()
+    nulls = mask.tolist()
     compiled: dict[str, re.Pattern] = {}
-    for i in range(count):
-        if mask[i]:
+    flags = []
+    for text, pat, null in zip(raw, pats, nulls):
+        if null:
+            flags.append(False)
             continue
-        pat = pattern.data[i]
-        if pat not in compiled:
-            compiled[pat] = _like_regex(pat)
-        data[i] = compiled[pat].fullmatch(value.data[i]) is not None
+        rex = compiled.get(pat)
+        if rex is None:
+            rex = compiled[pat] = _like_regex(pat)
+        flags.append(rex.fullmatch(text) is not None)
+    data = np.array(flags, dtype=np.bool_) if flags else \
+        np.zeros(0, dtype=np.bool_)
     return Column(SqlType.BOOLEAN, data, mask)
 
 

@@ -82,6 +82,22 @@ def encode_keys(columns: Sequence[Column], nulls_match: bool,
     return combined
 
 
+def build_probe_index(codes: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray]:
+    """Sort a build side's codes for binary-search probing.
+
+    Returns (sorted_codes, sorted_positions) with -1 (no-match) codes
+    dropped — the shape :func:`equi_join_pairs` accepts as
+    ``right_sorted``.  Building it once lets many probe morsels share
+    one sorted build side.
+    """
+    valid = codes >= 0
+    positions = np.nonzero(valid)[0]
+    valid_codes = codes[valid]
+    order = np.argsort(valid_codes, kind="stable")
+    return valid_codes[order], positions[order]
+
+
 def equi_join_pairs(left_codes: np.ndarray,
                     right_codes: np.ndarray,
                     right_sorted: tuple[np.ndarray, np.ndarray] | None = None
@@ -99,12 +115,7 @@ def equi_join_pairs(left_codes: np.ndarray,
     if right_sorted is not None:
         sorted_codes, sorted_positions = right_sorted
     else:
-        valid_right = right_codes >= 0
-        right_positions = np.nonzero(valid_right)[0]
-        right_valid_codes = right_codes[valid_right]
-        order = np.argsort(right_valid_codes, kind="stable")
-        sorted_codes = right_valid_codes[order]
-        sorted_positions = right_positions[order]
+        sorted_codes, sorted_positions = build_probe_index(right_codes)
 
     valid_left = left_codes >= 0
     lo = np.searchsorted(sorted_codes, left_codes, "left")
@@ -144,15 +155,38 @@ def distinct_indices(columns: Sequence[Column],
     return np.sort(first_index)
 
 
+def scatter_update(old: Column, positions: np.ndarray,
+                   new_values: Column) -> tuple[Column, np.ndarray]:
+    """Keyed merge: scatter ``new_values`` over ``positions`` of ``old``.
+
+    Returns (merged column, changed mask over ``positions``) where
+    *changed* is SQL ``IS DISTINCT FROM`` between the old and new value
+    at each position.  When nothing changed, the original column object
+    is returned unchanged so its version — and any kernel-cache state
+    keyed by it — survives.
+    """
+    if new_values.sql_type is not old.sql_type:
+        new_values = new_values.cast(old.sql_type)
+    changed = old.take(positions).is_distinct_from(new_values)
+    if not changed.any():
+        return old, changed
+    data = old.data.copy()
+    mask = old.mask.copy()
+    data[positions] = new_values.data
+    mask[positions] = new_values.mask
+    return Column(old.sql_type, data, mask), changed
+
+
 def sort_indices(key_columns: Sequence[Column],
-                 ascending: Sequence[bool]) -> np.ndarray:
+                 ascending: Sequence[bool],
+                 cache: Optional[KernelCache] = None) -> np.ndarray:
     """Stable multi-key sort order.  NULLs sort last under ASC and first
     under DESC (treated as the largest value, PostgreSQL's default)."""
     if not key_columns:
         return np.arange(0, dtype=np.int64)
     sort_keys = []
     for column, asc in zip(key_columns, ascending):
-        codes, cardinality = factorize(column, nulls_match=False)
+        codes, cardinality = factorize(column, nulls_match=False, cache=cache)
         # NULLs become the largest rank.
         ranks = np.where(codes < 0, cardinality, codes)
         if not asc:

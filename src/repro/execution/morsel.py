@@ -1,0 +1,103 @@
+"""Morsel-driven parallelism for columnar operators.
+
+A *morsel* is a fixed-size contiguous row range of an operator's input
+(Leis et al., "Morsel-Driven Parallelism", adapted to this engine's
+materialize-everything execution model).  Operators that are elementwise
+over rows — filter predicates, projections, and the probe side of a hash
+equi join — split their input into morsels, evaluate each morsel
+independently, and concatenate the per-morsel results in input order, so
+the output is bit-identical to the single-shot evaluation by
+construction.
+
+Dispatch goes to a shared thread pool when the session opts in
+(``parallel_morsels``) and the input is large enough to amortize the
+per-task overhead (``morsel_min_rows``); NumPy kernels release the GIL,
+so morsels genuinely overlap where cores are available.  Below the
+threshold (or with the option off) the same chunked evaluation runs
+inline on the calling thread — the cost-threshold fallback the scheduler
+always keeps.
+
+Worker callables must be pure with respect to engine state: they read
+immutable columns and return fresh arrays.  All counter updates and span
+events happen on the coordinating thread, after the pool has joined, so
+``ExecutionStats`` and the tracer never see concurrent mutation.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+# One process-wide pool, sized on first use; sessions asking for a
+# different worker count than the live pool rebuild it lazily.
+_pool_lock = threading.Lock()
+_pool: Optional[ThreadPoolExecutor] = None
+_pool_workers = 0
+
+
+def _shared_pool(workers: int) -> ThreadPoolExecutor:
+    global _pool, _pool_workers
+    with _pool_lock:
+        if _pool is None or _pool_workers != workers:
+            if _pool is not None:
+                _pool.shutdown(wait=False)
+            _pool = ThreadPoolExecutor(
+                max_workers=workers,
+                thread_name_prefix="repro-morsel")
+            _pool_workers = workers
+        return _pool
+
+
+def morsel_ranges(num_rows: int, morsel_size: int) -> list[tuple[int, int]]:
+    """Contiguous ``[start, stop)`` chunks covering ``range(num_rows)``."""
+    if num_rows <= 0:
+        return []
+    size = max(1, int(morsel_size))
+    return [(start, min(start + size, num_rows))
+            for start in range(0, num_rows, size)]
+
+
+def run_morsels(ctx, num_rows: int,
+                fn: Callable[[int, int], T],
+                label: str = "morsel") -> Optional[list[T]]:
+    """Evaluate ``fn(start, stop)`` over every morsel of ``num_rows``.
+
+    Returns the per-morsel results in input order, or ``None`` when the
+    session has not opted into morsel execution or the input is too
+    small to chunk — the caller then runs its single-shot path.  ``fn``
+    must be pure (no ctx/stats/tracer access); accounting happens here,
+    on the coordinating thread.
+    """
+    options = ctx.options
+    if not options.parallel_morsels:
+        return None
+    ranges = morsel_ranges(num_rows, options.morsel_size)
+    if len(ranges) <= 1:
+        return None
+    workers = max(1, int(options.morsel_workers))
+    parallel = workers > 1 and num_rows >= options.morsel_min_rows
+    if parallel:
+        pool = _shared_pool(workers)
+        results = list(pool.map(lambda r: fn(r[0], r[1]), ranges))
+    else:
+        results = [fn(start, stop) for start, stop in ranges]
+
+    ctx.stats.morsel_batches += len(ranges)
+    ctx.stats.morsel_rows += num_rows
+    if parallel:
+        ctx.stats.morsel_parallel_batches += len(ranges)
+    tracer = ctx.tracer
+    if tracer.enabled:
+        tracer.event(f"morsels:{label}", kind="morsel",
+                     morsels=len(ranges), rows=num_rows,
+                     workers=(workers if parallel else 1),
+                     parallel=parallel)
+    return results
+
+
+def split_columns(results: Sequence, index: int) -> list:
+    """Column ``index`` of every per-morsel result tuple."""
+    return [r[index] for r in results]

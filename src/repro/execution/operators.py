@@ -41,12 +41,14 @@ from .context import ExecutionContext
 from .expressions import evaluate, evaluate_predicate
 from .frame import Frame
 from .kernels import (
+    build_probe_index,
     distinct_indices,
     encode_keys,
     equi_join_pairs,
     group_ids,
     sort_indices,
 )
+from .morsel import run_morsels
 
 
 def execute_plan(op: LogicalOp, ctx: ExecutionContext) -> Frame:
@@ -63,13 +65,7 @@ def execute_plan(op: LogicalOp, ctx: ExecutionContext) -> Frame:
         return _execute_values(op)
     if isinstance(op, LogicalFilter):
         child = execute_plan(op.child, ctx)
-        if ctx.options.enable_expr_compile:
-            compiled = ctx.expr_cache.get(op.predicate, child.fields,
-                                          id(op))
-            keep = _predicate_from_column(compiled(child))
-        else:
-            keep = evaluate_predicate(op.predicate, child)
-        return child.filter(keep)
+        return child.filter(_execute_filter_mask(op, child, ctx))
     if isinstance(op, LogicalProject):
         child = execute_plan(op.child, ctx)
         return _execute_project(op, child, ctx)
@@ -105,7 +101,8 @@ def execute_plan(op: LogicalOp, ctx: ExecutionContext) -> Frame:
         child = execute_plan(op.child, ctx)
         keys = [evaluate(expr, child) for expr, _ in op.keys]
         ascending = [asc for _, asc in op.keys]
-        order = sort_indices(keys, ascending)
+        order = sort_indices(keys, ascending,
+                             cache=ctx.active_kernel_cache())
         return child.take(order)
     if isinstance(op, LogicalLimit):
         child = execute_plan(op.child, ctx)
@@ -140,20 +137,60 @@ def _execute_values(op: LogicalValues) -> Frame:
     return Frame(op.fields, columns, len(op.rows))
 
 
+def _execute_filter_mask(op: LogicalFilter, child: Frame,
+                         ctx: ExecutionContext) -> np.ndarray:
+    """The keep mask of a filter, morsel-split when the session opts in.
+
+    Predicates are elementwise, so evaluating per-morsel and
+    concatenating the masks in input order is bit-identical to the
+    single-shot evaluation.  Compilation happens once on the
+    coordinating thread; the compiled closure is pure and safe to call
+    from pool workers.
+    """
+    if ctx.options.enable_expr_compile:
+        compiled = ctx.expr_cache.get(op.predicate, child.fields, id(op))
+
+        def keep_of(start: int, stop: int) -> np.ndarray:
+            return _predicate_from_column(compiled(child.slice(start, stop)))
+    else:
+        def keep_of(start: int, stop: int) -> np.ndarray:
+            return evaluate_predicate(op.predicate,
+                                      child.slice(start, stop))
+
+    chunks = run_morsels(ctx, child.num_rows, keep_of, label="filter")
+    if chunks is None:
+        return keep_of(0, child.num_rows)
+    return np.concatenate(chunks)
+
+
 def _execute_project(op: LogicalProject, child: Frame,
                      ctx: ExecutionContext | None = None) -> Frame:
     use_compiler = ctx is not None and ctx.options.enable_expr_compile
-    columns = []
+    evaluators = []
     for (expr, _name), field in zip(op.exprs, op.fields):
-        if use_compiler:
-            compiled = ctx.expr_cache.get(expr, child.fields, id(op))
-            column = compiled(child)
-        else:
-            column = evaluate(expr, child)
-        if column.sql_type is not field.sql_type \
-                and field.sql_type is not SqlType.NULL:
-            column = column.cast(field.sql_type)
-        columns.append(column)
+        compiled = (ctx.expr_cache.get(expr, child.fields, id(op))
+                    if use_compiler else None)
+        evaluators.append((expr, compiled, field))
+
+    def project_chunk(start: int, stop: int) -> list[Column]:
+        chunk = child.slice(start, stop)
+        columns = []
+        for expr, compiled, field in evaluators:
+            column = compiled(chunk) if compiled is not None \
+                else evaluate(expr, chunk)
+            if column.sql_type is not field.sql_type \
+                    and field.sql_type is not SqlType.NULL:
+                column = column.cast(field.sql_type)
+            columns.append(column)
+        return columns
+
+    chunks = run_morsels(ctx, child.num_rows, project_chunk,
+                         label="project") if ctx is not None else None
+    if chunks is None:
+        return Frame(op.fields, project_chunk(0, child.num_rows),
+                     child.num_rows)
+    columns = [Column.concat_many([c[i] for c in chunks])
+               for i in range(len(evaluators))]
     return Frame(op.fields, columns, child.num_rows)
 
 
@@ -262,7 +299,23 @@ def _equi_pairs(equi, left: Frame, right: Frame,
     right_keys = [evaluate(b, right) for _, b in equi]
     left_codes, right_codes, right_sorted = _encode_join_sides(
         left_keys, right_keys, ctx)
-    return equi_join_pairs(left_codes, right_codes, right_sorted)
+    if ctx.options.parallel_morsels and right_sorted is None:
+        # Build the probe index once so every morsel shares it.
+        right_sorted = build_probe_index(right_codes)
+
+    def probe_chunk(start: int, stop: int):
+        pairs_left, pairs_right = equi_join_pairs(
+            left_codes[start:stop], right_codes, right_sorted)
+        return pairs_left + start, pairs_right
+
+    chunks = run_morsels(ctx, len(left_codes), probe_chunk,
+                         label="join-probe")
+    if chunks is None:
+        return equi_join_pairs(left_codes, right_codes, right_sorted)
+    # Per-morsel pairs are grouped by left row in left-row order, so
+    # concatenating in morsel order preserves the global pair order.
+    return (np.concatenate([c[0] for c in chunks]),
+            np.concatenate([c[1] for c in chunks]))
 
 
 def _execute_join(op: LogicalJoin, ctx: ExecutionContext) -> Frame:

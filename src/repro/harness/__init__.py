@@ -4,6 +4,7 @@ from .experiment import (
     Comparison,
     Measurement,
     time_callable,
+    time_fresh,
     time_query,
     write_bench_artifact,
 )
@@ -18,6 +19,7 @@ __all__ = [
     "Comparison",
     "Measurement",
     "time_callable",
+    "time_fresh",
     "time_query",
     "write_bench_artifact",
     "comparison_rows",

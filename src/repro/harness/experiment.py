@@ -54,6 +54,29 @@ def time_query(db: Database, sql: str, repeats: int = 3,
                          lambda: db.execute(sql), repeats, warmup)
 
 
+def time_fresh(label: str, setup: Callable[[], object],
+               run: Callable[[object], object],
+               repeats: int = 3, warmup: int = 1) -> Measurement:
+    """Median-of-repeats timing where every sample runs against freshly
+    built state: ``setup()`` constructs the state *outside* the timed
+    window, ``run(state)`` is what gets timed.
+
+    Use this when the subject under measurement is cold-state execution
+    (loop strategies, caches that warm inside one query) —
+    :func:`time_callable` against a reused database would time warm
+    state from the second sample on, while a single cold run records
+    no spread at all."""
+    for _ in range(warmup):
+        run(setup())
+    samples = []
+    for _ in range(repeats):
+        state = setup()
+        start = time.perf_counter()
+        run(state)
+        samples.append(time.perf_counter() - start)
+    return Measurement(label, statistics.median(samples), repeats, samples)
+
+
 @dataclass
 class Comparison:
     """One paper-figure data point: baseline vs optimized."""

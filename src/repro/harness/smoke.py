@@ -2,9 +2,10 @@
 
 ``repro-smoke`` (see ``[project.scripts]`` in pyproject.toml) runs the
 same marker set as ``scripts/check_all_smoke.sh``: the bench,
-observability, delta-evaluation, lint and trace-diff guards, in one
-pytest invocation.  Pass ``--only bench|obs|delta|lint|tracediff`` to
-run a single guard, plus any extra pytest arguments after ``--``.
+observability, delta-evaluation, lint, stored-procedure and trace-diff
+guards, in one pytest invocation.  Pass ``--only
+bench|obs|delta|lint|procedures|tracediff`` to run a single guard, plus
+any extra pytest arguments after ``--``.
 """
 
 from __future__ import annotations
@@ -18,6 +19,7 @@ _MARKERS = {
     "obs": "obs_smoke",
     "delta": "delta_smoke",
     "lint": "lint_smoke",
+    "procedures": "procedures_smoke",
     "tracediff": "tracediff_smoke",
 }
 
@@ -33,7 +35,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-smoke",
         description="Run the tier-1 smoke guards (bench + obs + delta "
-                    "+ lint + tracediff).")
+                    "+ lint + procedures + tracediff).")
     parser.add_argument("--only", choices=sorted(_MARKERS),
                         help="run a single guard instead of all of them")
     parser.add_argument("pytest_args", nargs="*",

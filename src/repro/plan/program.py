@@ -303,6 +303,37 @@ class DeltaApplyStep(Step):
 
 
 @dataclass
+class DeltaFusedStep(Step):
+    """The fused semi-naive delta pass: gate, partition, recompute and
+    apply in one batched columnar step.
+
+    One dispatch replaces the quartet's gate/partition/materialize/apply
+    chain (plus the delta-working duplicate check when ``dup_check``),
+    keeping intermediate code arrays and positions in registers across
+    the phases.  Control flow matches the gate/apply pair: jumps to
+    ``jump_full`` (the original loop body) when delta state is missing,
+    invalid, or the keyset guard trips; jumps to ``jump_done`` (past both
+    bodies) on an empty frontier; jumps to ``jump_to`` (the loop
+    increment) after a successful delta iteration.  It never falls
+    through.  Jump targets are patched after emission.
+    """
+
+    spec: DeltaSpec
+    plan: LogicalOp
+    column_names: list[str]
+    dup_check: bool
+    jump_to: int = -1
+    jump_full: int = -1
+    jump_done: int = -1
+
+    def describe(self) -> str:
+        return (f"Fused delta pass for {self.spec.cte_name}: full body at "
+                f"step {self.jump_full + 1}, done to step "
+                f"{self.jump_done + 1}, applied to step "
+                f"{self.jump_to + 1}.")
+
+
+@dataclass
 class DeltaCaptureStep(Step):
     """Capture delta state after a full iteration of the loop body.
 

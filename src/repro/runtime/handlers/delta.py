@@ -14,15 +14,18 @@ from typing import Optional
 
 import numpy as np
 
-from ...errors import ExecutionError
+from ...errors import DuplicateKeyError, ExecutionError
+from ...execution import execute_to_table
+from ...execution.kernels import factorize, scatter_update
 from ...plan.program import (
     DeltaApplyStep,
     DeltaCaptureStep,
+    DeltaFusedStep,
     DeltaGateStep,
     DeltaPartitionStep,
     DeltaSpec,
 )
-from ...storage import Column, Table
+from ...storage import Table
 from ..registry import handles
 from ..strategies import DeltaLoopRuntime
 
@@ -70,13 +73,23 @@ def run_delta_partition(runner, step: DeltaPartitionStep) -> Optional[int]:
 
 @handles(DeltaApplyStep)
 def run_delta_apply(runner, step: DeltaApplyStep) -> int:
+    ctx = runner.ctx
+    spec = step.spec
+    runtime = runner.engine.delta_runtime(spec)
+    working = ctx.registry.fetch(spec.delta_working)
+    return _apply_delta(runner, spec, runtime, working,
+                        step.jump_to, step.jump_full)
+
+
+def _apply_delta(runner, spec: DeltaSpec, runtime: DeltaLoopRuntime,
+                 working: Table, jump_to: int, jump_full: int) -> int:
+    """Scatter the recomputed partition back by key and derive the next
+    frontier — the shared back half of the quartet's apply step and the
+    fused delta pass."""
     from ...execution.kernel_cache import _comparable_values
 
     ctx = runner.ctx
     engine = runner.engine
-    spec = step.spec
-    runtime = engine.delta_runtime(spec)
-    working = ctx.registry.fetch(spec.delta_working)
     w_keys = _comparable_values(working.columns[0].data)
     positions = _key_positions_of(runtime, w_keys, strict=True)
 
@@ -93,26 +106,18 @@ def run_delta_apply(runner, step: DeltaApplyStep) -> int:
         runtime.active = False
         runtime.pending_positions = None
         ctx.stats.delta_guard_fallbacks += 1
-        return step.jump_full
+        return jump_full
 
     changed = np.zeros(working.num_rows, dtype=np.bool_)
     new_columns = list(runtime.columns)
     for i in range(1, len(new_columns)):
-        old = runtime.columns[i]
-        new_col = working.columns[i]
-        if new_col.sql_type is not old.sql_type:
-            new_col = new_col.cast(old.sql_type)
-        col_changed = old.take(positions).is_distinct_from(new_col)
+        # scatter_update keeps the old column object when nothing
+        # changed, so its version — and any kernel-cache state keyed by
+        # it — survives.
+        merged, col_changed = scatter_update(
+            runtime.columns[i], positions, working.columns[i])
         changed |= col_changed
-        if not col_changed.any():
-            # Unchanged column: keep the old object so its version —
-            # and any kernel-cache state keyed by it — survives.
-            continue
-        data = old.data.copy()
-        mask = old.mask.copy()
-        data[positions] = new_col.data
-        mask[positions] = new_col.mask
-        new_columns[i] = Column(old.sql_type, data, mask)
+        new_columns[i] = merged
     ctx.stats.rows_moved += working.num_rows
     ctx.stats.bytes_moved += working.nbytes()
 
@@ -145,7 +150,75 @@ def run_delta_apply(runner, step: DeltaApplyStep) -> int:
     ctx.stats.delta_iterations += 1
     engine.note_frontier(spec.loop_id, runtime.last_frontier,
                          new_table.num_rows)
-    return step.jump_to
+    return jump_to
+
+
+@handles(DeltaFusedStep)
+def run_delta_fused(runner, step: DeltaFusedStep) -> int:
+    """The fused semi-naive delta pass: gate, partition, recompute,
+    duplicate check and apply in one batched columnar dispatch.
+
+    Control flow is identical to the quartet (same three jump targets,
+    same O(1) empty-frontier short-circuit, same keyset-guard fallback);
+    the fusion saves four step dispatches and the registry round-trips
+    between them per delta iteration.
+    """
+    ctx = runner.ctx
+    engine = runner.engine
+    spec = step.spec
+    runtime = engine.delta_runtime(spec)
+
+    # -- gate ---------------------------------------------------------------
+    if runtime.disabled or not runtime.active:
+        return step.jump_full
+    if runtime.frontier_keys is None or not len(runtime.frontier_keys):
+        # Empty frontier: no input of any key changed last iteration,
+        # so no output can change this iteration (or ever after) —
+        # this iteration costs O(1).
+        runtime.last_frontier = 0
+        if engine.counts_updates(spec.loop_id):
+            engine.record_updates(spec.loop_id, 0)
+        ctx.stats.delta_iterations += 1
+        ctx.stats.delta_fused_iterations += 1
+        return step.jump_done
+
+    # -- partition ----------------------------------------------------------
+    frontier = runtime.frontier_keys
+    position_sets = [_key_positions_of(runtime, frontier, strict=True)]
+    for link in spec.influences:
+        influenced = _expand_influence(runner, runtime, link, frontier)
+        position_sets.append(
+            _key_positions_of(runtime, influenced, strict=False))
+    positions = np.unique(np.concatenate(position_sets))
+    table = ctx.registry.fetch(spec.cte_result)
+    partition = table.take(positions)
+    # The delta body's anchor scan reads the partition by name.
+    ctx.registry.store(spec.partition, partition)
+    runtime.pending_positions = positions
+    ctx.stats.rows_moved += int(len(positions))
+    ctx.stats.bytes_moved += partition.nbytes()
+
+    # -- recompute the affected partition through the delta body ------------
+    working = execute_to_table(step.plan, ctx, step.column_names)
+    ctx.registry.store(spec.delta_working, working)
+
+    # -- duplicate check (merge-by-key bodies only) -------------------------
+    if step.dup_check:
+        key = working.column(spec.key_column)
+        codes, cardinality = factorize(key, nulls_match=True,
+                                       cache=ctx.active_kernel_cache())
+        if len(codes) and cardinality < len(codes):
+            raise DuplicateKeyError(
+                "the iterative part produced duplicate values for key "
+                f"{spec.key_column!r}; add an aggregation to resolve "
+                "them (paper §II)")
+
+    # -- apply --------------------------------------------------------------
+    jump = _apply_delta(runner, spec, runtime, working,
+                        step.jump_to, step.jump_full)
+    if jump == step.jump_to:
+        ctx.stats.delta_fused_iterations += 1
+    return jump
 
 
 @handles(DeltaCaptureStep)
@@ -157,6 +230,20 @@ def run_delta_capture(runner, step: DeltaCaptureStep) -> Optional[int]:
     spec = step.spec
     runtime = engine.delta_runtime(spec)
     if runtime.disabled:
+        if runtime.demoted and ctx.options.enable_strategy_promotion:
+            # Demoted (not disqualified) loop: keep measuring the
+            # changed-row frontier of every full iteration without
+            # re-activating the delta machinery — the movement
+            # fallback's promotion watcher consumes these and hands the
+            # loop back to semi-naive delta when the frontier collapses.
+            table = ctx.registry.fetch(spec.cte_result)
+            key_column = table.columns[0]
+            if not key_column.mask.any():
+                values = _comparable_values(key_column.data)
+                previous = ctx.registry.fetch(step.previous)
+                changed = _diff_by_key(table, previous, values)
+                engine.note_frontier(spec.loop_id, int(changed.sum()),
+                                     table.num_rows)
         return None
     table = ctx.registry.fetch(spec.cte_result)
     key_column = table.columns[0]

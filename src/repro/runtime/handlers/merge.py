@@ -49,6 +49,11 @@ def _append_segment(runner, name: str, result: Table,
     ctx = runner.ctx
     segmented = SegmentedTable.wrap(result)
     segmented.append(new_rows)
+    if ctx.options.enable_plan_verifier:
+        from ...verify.storage import verify_segmented_table
+        # Metadata invariants only — forcing a consolidation here would
+        # defeat the O(|delta|) append this path exists for.
+        verify_segmented_table(segmented, "recursive-merge append")
     ctx.registry.store(name, segmented)
     ctx.stats.rows_moved += new_rows.num_rows
     ctx.stats.bytes_moved += new_rows.nbytes()

@@ -181,7 +181,8 @@ class ProgramRunner:
         ]
 
     def _strategy_report(self) -> list[str]:
-        """The strategy that finished owning each loop, with demotions."""
+        """The strategy that finished owning each loop, with any
+        mid-loop demotions and promotions."""
         lines = []
         for loop_id in sorted(self.engine.strategies):
             spec = self._program.loops.get(loop_id)
@@ -189,9 +190,12 @@ class ProgramRunner:
                 continue
             strategy = self.engine.strategies[loop_id]
             line = f"loop {spec.cte_name}: strategy {strategy.describe()}"
-            demotion = self.engine.demotions.get(loop_id)
-            if demotion is not None:
-                line += f" ({demotion.describe()})"
+            events = [record.describe() for record in
+                      (self.engine.demotions.get(loop_id),
+                       self.engine.promotions.get(loop_id))
+                      if record is not None]
+            if events:
+                line += f" ({'; '.join(events)})"
             lines.append(line)
         return lines
 

@@ -31,6 +31,7 @@ from .strategies import (
     DeltaLoopRuntime,
     DemotionRecord,
     LoopStrategy,
+    PromotionRecord,
     SemiNaiveDelta,
     choose_strategy,
 )
@@ -144,6 +145,7 @@ class LoopEngine:
         self.strategies: dict[int, LoopStrategy] = {}
         self.delta_runtimes: dict[int, DeltaLoopRuntime] = {}
         self.demotions: dict[int, DemotionRecord] = {}
+        self.promotions: dict[int, PromotionRecord] = {}
         self._runs: dict[int, LoopRun] = {}
 
     def begin_run(self) -> None:
@@ -152,6 +154,7 @@ class LoopEngine:
         self.strategies = {}
         self.delta_runtimes = {}
         self.demotions = {}
+        self.promotions = {}
         self._runs = {}
 
     # -- loop control --------------------------------------------------------
@@ -235,6 +238,31 @@ class LoopEngine:
         if run is not None:
             run.telemetry.strategy = (f"{record.from_name}->"
                                       f"{record.to_name}")
+
+    def record_promotion(self, loop_id: int, from_strategy: LoopStrategy,
+                         to_strategy: LoopStrategy, frontier: int,
+                         total: int) -> None:
+        state = self.states.get(loop_id)
+        record = PromotionRecord(
+            iteration=(state.iterations + 1) if state is not None else 0,
+            from_name=from_strategy.name, to_name=to_strategy.name,
+            frontier=frontier, total=total)
+        self.promotions[loop_id] = record
+        self._ctx.stats.strategy_promotions += 1
+        tracer = self._ctx.tracer
+        if tracer.enabled:
+            tracer.event("strategy_promotion", kind="strategy",
+                         loop_id=loop_id,
+                         from_strategy=record.from_name,
+                         to_strategy=record.to_name,
+                         iteration=record.iteration,
+                         frontier=frontier, total=total)
+        run = self._runs.get(loop_id)
+        if run is not None:
+            # Append to the demotion chain so the telemetry reads e.g.
+            # "semi-naive-delta->rename-in-place->semi-naive-delta".
+            prior = run.telemetry.strategy or record.from_name
+            run.telemetry.strategy = f"{prior}->{record.to_name}"
 
     # -- observation (telemetry + spans) -------------------------------------
 

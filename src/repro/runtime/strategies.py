@@ -81,8 +81,8 @@ class DeltaLoopRuntime:
     by the partition/apply steps on every delta iteration.
     """
 
-    __slots__ = ("spec", "active", "disabled", "schema", "columns",
-                 "key_sorted", "key_positions", "in_working",
+    __slots__ = ("spec", "active", "disabled", "demoted", "schema",
+                 "columns", "key_sorted", "key_positions", "in_working",
                  "frontier_keys", "last_frontier", "pending_positions",
                  "link_indexes")
 
@@ -90,9 +90,14 @@ class DeltaLoopRuntime:
         self.spec = spec
         # Delta state captured and valid: the gate may take the delta path.
         self.active = False
-        # Permanently off for this run (key validation failed, the keyset
-        # guard tripped, or the strategy demoted itself).
+        # Off for this run (key validation failed, the keyset guard
+        # tripped, or the strategy demoted itself).
         self.disabled = False
+        # True only for threshold demotions: the delta machinery is
+        # sound, just not profitable right now — the loop stays eligible
+        # for re-promotion.  Permanent disqualifications (NULL or
+        # duplicate keys, a tripped keyset guard) leave this False.
+        self.demoted = False
         self.schema = None
         # Column objects of the current CTE table (shared, immutable).
         self.columns: list = []
@@ -130,6 +135,7 @@ class SemiNaiveDelta(LoopStrategy):
                  runtime: DeltaLoopRuntime):
         super().__init__(spec)
         self.runtime = runtime
+        self._options = options
         self._threshold = options.delta_demotion_threshold
         self._patience = options.delta_demotion_patience
         self._demotion_on = options.enable_strategy_demotion
@@ -147,12 +153,62 @@ class SemiNaiveDelta(LoopStrategy):
             return self
         self.runtime.disabled = True
         self.runtime.active = False
-        fallback = (RenameInPlace(self.spec)
-                    if self.spec.movement == "rename"
-                    else FullRecompute(self.spec))
+        self.runtime.demoted = True
+        base = (RenameInPlace(self.spec)
+                if self.spec.movement == "rename"
+                else FullRecompute(self.spec))
+        fallback = MovementFallback(self.spec, self._options,
+                                    self.runtime, base)
         engine.record_demotion(self.spec.loop_id, self, fallback,
                                frontier, total)
         return fallback
+
+
+class MovementFallback(LoopStrategy):
+    """The full-body strategy a demoted delta loop lands on — plus the
+    *promotion* watcher, the demotion mirror.
+
+    Delta capture keeps measuring the changed-row frontier of every full
+    iteration while the loop is demoted (without re-activating the delta
+    machinery).  Once ``delta_promotion_patience`` consecutive frontiers
+    fall below ``delta_promotion_threshold`` of the table, the watcher
+    re-enables the runtime and hands the loop back to a fresh
+    :class:`SemiNaiveDelta` — the next full iteration re-captures delta
+    state, and the one after takes the delta path again.  The promote
+    threshold sits below the demote threshold (hysteresis), so the pair
+    cannot ping-pong every iteration.
+    """
+
+    def __init__(self, spec: LoopSpec, options,
+                 runtime: DeltaLoopRuntime, base: LoopStrategy):
+        super().__init__(spec)
+        # Reports and telemetry see the movement fallback's own name.
+        self.name = base.name
+        self.base = base
+        self.runtime = runtime
+        self._options = options
+        self._threshold = options.delta_promotion_threshold
+        self._patience = options.delta_promotion_patience
+        self._promotion_on = options.enable_strategy_promotion
+        self._streak = 0
+
+    def note_frontier(self, frontier: int, total: int,
+                      engine) -> LoopStrategy:
+        if not self._promotion_on or not self.runtime.demoted:
+            return self
+        if total <= 0 or frontier >= self._threshold * total:
+            self._streak = 0
+            return self
+        self._streak += 1
+        if self._streak < self._patience:
+            return self
+        self.runtime.disabled = False
+        self.runtime.active = False
+        self.runtime.demoted = False
+        promoted = SemiNaiveDelta(self.spec, self._options, self.runtime)
+        engine.record_promotion(self.spec.loop_id, self, promoted,
+                                frontier, total)
+        return promoted
 
 
 def choose_strategy(spec: LoopSpec, options,
@@ -184,5 +240,21 @@ class DemotionRecord:
 
     def describe(self) -> str:
         return (f"demoted {self.from_name} -> {self.to_name} after "
+                f"iteration {self.iteration} (frontier {self.frontier}"
+                f"/{self.total} rows)")
+
+
+@dataclass
+class PromotionRecord:
+    """One mid-loop strategy promotion, for reports and telemetry."""
+
+    iteration: int
+    from_name: str
+    to_name: str
+    frontier: int
+    total: int
+
+    def describe(self) -> str:
+        return (f"promoted {self.from_name} -> {self.to_name} after "
                 f"iteration {self.iteration} (frontier {self.frontier}"
                 f"/{self.total} rows)")

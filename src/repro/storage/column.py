@@ -115,9 +115,18 @@ class Column:
         return value
 
     def to_list(self) -> list[Any]:
-        """Materialize as a list of Python scalars (None for NULL)."""
-        return [None if self.mask[i] else self._to_python(self.data[i])
-                for i in range(len(self))]
+        """Materialize as a list of Python scalars (None for NULL).
+
+        ``ndarray.tolist`` converts the whole vector in one C pass (numpy
+        scalars become native ints/floats/bools); only the NULL slots are
+        then patched, so cost is O(n) + O(nulls) instead of n per-element
+        numpy indexing round-trips.
+        """
+        values = self.data.tolist()
+        if self.mask.any():
+            for i in np.nonzero(self.mask)[0].tolist():
+                values[i] = None
+        return values
 
     # -- vector operations used by operators -------------------------------
 
@@ -163,14 +172,21 @@ class Column:
             raise TypeCheckError(
                 f"cannot cast {self.sql_type} to {target}")
         if target is SqlType.TEXT:
-            values = [None if self.mask[i] else
-                      coerce_scalar(self._to_python(self.data[i]), target)
-                      for i in range(len(self))]
-            return Column.from_values(target, values)
+            # Bulk-convert via tolist (one C pass), then stringify; the
+            # masked slots keep an arbitrary in-band value.
+            raw = self.data.tolist()
+            if self.sql_type is SqlType.BOOLEAN:
+                strings = ["true" if v else "false" for v in raw]
+            else:
+                strings = [str(v) for v in raw]
+            data = np.empty(len(strings), dtype=object)
+            data[:] = strings
+            return Column(target, data, self.mask.copy())
         if self.sql_type is SqlType.TEXT:
-            values = [None if self.mask[i] else
-                      coerce_scalar(self.data[i], target)
-                      for i in range(len(self))]
+            raw = self.data.tolist()
+            nulls = self.mask.tolist()
+            values = [None if null else coerce_scalar(value, target)
+                      for value, null in zip(raw, nulls)]
             return Column.from_values(target, values)
         data = self.data.astype(target.numpy_dtype)
         return Column(target, data, self.mask.copy())

@@ -11,6 +11,8 @@ to iterate segments without consolidating.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..errors import TypeCheckError
 from ..types import common_type
 from .column import Column
@@ -73,6 +75,19 @@ class SegmentedTable(Table):
     def segment_count(self) -> int:
         return len(self._segments)
 
+    @property
+    def watermarks(self) -> list[int]:
+        """Cumulative row counts per segment: ``watermarks[i]`` is the
+        number of rows held by segments ``0..i`` inclusive.  Monotone
+        non-decreasing by construction (empty deltas are never appended);
+        the storage verifier checks that invariant after every merge."""
+        marks: list[int] = []
+        total = 0
+        for segment in self._segments:
+            total += segment.num_rows
+            marks.append(total)
+        return marks
+
     # -- metadata reads that must not consolidate --------------------------
 
     @property
@@ -101,13 +116,31 @@ class SegmentedTable(Table):
         return self._flat.columns
 
     def _consolidate(self) -> None:
+        """Rebuild contiguous columns with one allocation per column.
+
+        The output dtype is known up front (``append`` widens the schema
+        eagerly), so each column is filled by slicing segments directly
+        into a preallocated typed ndarray — no intermediate concat column,
+        no post-hoc cast of the merged vector.  Segments whose stored type
+        lags the widened schema are cast individually (O(|segment|)).
+        """
         segments = self._segments
+        total = sum(seg.num_rows for seg in segments)
         columns = []
         for i, col_schema in enumerate(self.schema.columns):
-            merged = Column.concat_many([seg.columns[i] for seg in segments])
-            if merged.sql_type is not col_schema.sql_type:
-                merged = merged.cast(col_schema.sql_type)
-            columns.append(merged)
+            target = col_schema.sql_type
+            data = np.empty(total, dtype=target.numpy_dtype)
+            mask = np.empty(total, dtype=np.bool_)
+            at = 0
+            for segment in segments:
+                part = segment.columns[i]
+                if part.sql_type is not target:
+                    part = part.cast(target)
+                stop = at + len(part)
+                data[at:stop] = part.data
+                mask[at:stop] = part.mask
+                at = stop
+            columns.append(Column(target, data, mask))
         flat = Table(self.schema, columns)
         self._flat = flat
         self._segments = [flat]

@@ -19,12 +19,15 @@ Two layers live here:
 from ..errors import VerificationError
 from .plans import check_plan, verify_plan
 from .programs import VerificationReport, check_program, verify_program
+from .storage import check_segmented_table, verify_segmented_table
 
 __all__ = [
     "VerificationError",
     "VerificationReport",
     "check_plan",
     "check_program",
+    "check_segmented_table",
     "verify_plan",
     "verify_program",
+    "verify_segmented_table",
 ]

@@ -15,11 +15,13 @@ preserve:
   path (must-defined analysis over the CFG; ``RenameStep``/``CopyStep``
   kill their source), every ``SnapshotStep`` is consumed downstream, and
   ``DropStep`` never kills a live name (backward liveness);
-* **strategy legality** — semi-naive delta programs carry the
+* **strategy legality** — semi-naive delta programs carry either the
   gate/partition/apply/capture quartet in order with consistent jump
-  targets, and rename-in-place only moves a table straight onto the CTE
-  name when the body has no WHERE clause (WHERE bodies must move the
-  *merge* result, built from the duplicate-checked working table);
+  targets, or (fusion on) a single ``DeltaFusedStep`` paired with the
+  capture step and the same three jump targets; rename-in-place only
+  moves a table straight onto the CTE name when the body has no WHERE
+  clause (WHERE bodies must move the *merge* result, built from the
+  duplicate-checked working table);
 * **schema flow** — every embedded logical plan passes the plan verifier
   (:mod:`repro.verify.plans`), and materialization column lists match
   plan arity.
@@ -36,6 +38,7 @@ from ..plan.program import (
     CountUpdatesStep,
     DeltaApplyStep,
     DeltaCaptureStep,
+    DeltaFusedStep,
     DeltaGateStep,
     DeltaPartitionStep,
     DropStep,
@@ -113,6 +116,20 @@ def _step_flow(step: Step) -> _Flow:
         return _Flow(frozenset({step.spec.delta_working.lower(),
                                 step.spec.cte_result.lower()}),
                      frozenset({step.spec.cte_result.lower()}), _EMPTY)
+    if isinstance(step, DeltaFusedStep):
+        # One batched pass: reads the CTE table (and whatever temp
+        # results the delta body scans), defines the partition, the
+        # recomputed delta-working rows, and the merged CTE table.  The
+        # delta body's anchor scan reads the partition this same step
+        # defines internally, so it is excluded from the reads.
+        defines = frozenset({step.spec.cte_result.lower(),
+                             step.spec.partition.lower(),
+                             step.spec.delta_working.lower()})
+        reads = (frozenset({step.spec.cte_result.lower()})
+                 | _plan_temp_reads(step.plan)) \
+            - frozenset({step.spec.partition.lower(),
+                         step.spec.delta_working.lower()})
+        return _Flow(reads, defines, _EMPTY)
     if isinstance(step, DeltaCaptureStep):
         return _Flow(frozenset({step.spec.cte_result.lower(),
                                 step.previous.lower()}), _EMPTY, _EMPTY)
@@ -152,6 +169,9 @@ class ProgramChecker:
             succ = [index + 1, step.jump_full, step.jump_done]
         elif isinstance(step, DeltaApplyStep):
             succ = [step.jump_to, step.jump_full]
+        elif isinstance(step, DeltaFusedStep):
+            # Never falls through: full body, done, or applied.
+            succ = [step.jump_to, step.jump_full, step.jump_done]
         else:
             succ = [index + 1]
         return [s for s in succ if 0 <= s < n]
@@ -165,6 +185,10 @@ class ProgramChecker:
         if isinstance(step, DeltaApplyStep):
             return [("jump_to", step.jump_to),
                     ("jump_full", step.jump_full)]
+        if isinstance(step, DeltaFusedStep):
+            return [("jump_to", step.jump_to),
+                    ("jump_full", step.jump_full),
+                    ("jump_done", step.jump_done)]
         return []
 
     # -- structural checks -------------------------------------------------
@@ -184,7 +208,7 @@ class ProgramChecker:
                 elif target >= n:
                     self._note(i, f"{name} targets step {target + 1}, "
                                   f"past the end of the program ({n})")
-            if isinstance(step, MaterializeStep):
+            if isinstance(step, (MaterializeStep, DeltaFusedStep)):
                 self.checks += 1
                 if len(step.column_names) != len(step.plan.fields):
                     self._note(i, f"stores {len(step.column_names)} "
@@ -492,6 +516,12 @@ class ProgramChecker:
     def _check_delta_quartet(self, spec, body: range,
                              loop_idx: int) -> None:
         delta = spec.delta
+        fused = [i for i in body
+                 if isinstance(self.steps[i], DeltaFusedStep)
+                 and self.steps[i].spec.loop_id == delta.loop_id]
+        if fused:
+            self._check_delta_fused(delta, body, loop_idx, fused)
+            return
         found: dict[type, int] = {}
         for i in body:
             step = self.steps[i]
@@ -575,11 +605,75 @@ class ProgramChecker:
             self._note(gate_i, f"jump_done ({gate.jump_done + 1}) must "
                                "skip past the capture step")
 
+    def _check_delta_fused(self, delta, body: range, loop_idx: int,
+                           fused: list[int]) -> None:
+        """Fusion-on shape: exactly one DeltaFusedStep paired with the
+        capture step, none of the quartet steps, and the same three jump
+        targets the gate/apply pair would carry."""
+        self.checks += 1
+        if len(fused) != 1:
+            for i in fused[1:]:
+                self._note(i, f"duplicate DeltaFusedStep for loop "
+                              f"{delta.loop_id}")
+            return
+        fused_i = fused[0]
+        step = self.steps[fused_i]
+        self.checks += 1
+        leftovers = [i for i in body
+                     if isinstance(self.steps[i],
+                                   (DeltaGateStep, DeltaPartitionStep,
+                                    DeltaApplyStep))
+                     and self.steps[i].spec.loop_id == delta.loop_id]
+        for i in leftovers:
+            self._note(i, f"{type(self.steps[i]).__name__} coexists with "
+                          f"the fused delta pass of loop {delta.loop_id}")
+        captures = [i for i in body
+                    if isinstance(self.steps[i], DeltaCaptureStep)
+                    and self.steps[i].spec.loop_id == delta.loop_id]
+        self.checks += 1
+        if len(captures) != 1:
+            self.violations.append(
+                f"fused delta loop {delta.loop_id} has {len(captures)} "
+                "DeltaCaptureSteps, expected exactly 1")
+            return
+        capture_i = captures[0]
+        self.checks += 1
+        if not fused_i < capture_i:
+            self._note(fused_i, "fused delta pass must precede the "
+                                "capture step")
+            return
+        self.checks += 1
+        names = [c.lower() for c in step.column_names]
+        if names != [c.lower() for c in delta.columns]:
+            self._note(fused_i, "fused delta columns diverge from the "
+                                "DeltaSpec's column list")
+        self.checks += 1
+        if step.dup_check != delta.merge_by_key:
+            self._note(fused_i, "fused delta pass must duplicate-check "
+                                "the recomputed partition exactly for "
+                                "merge-by-key bodies")
+        self.checks += 1
+        if not (fused_i < step.jump_full <= capture_i):
+            self._note(fused_i, f"jump_full ({step.jump_full + 1}) must "
+                                "enter the full body before the capture "
+                                "step")
+        self.checks += 1
+        if step.jump_to != step.jump_done:
+            self._note(fused_i, f"jump_to ({step.jump_to + 1}) and "
+                                f"jump_done ({step.jump_done + 1}) "
+                                "diverge; both must target the loop "
+                                "increment")
+        self.checks += 1
+        if not (capture_i < step.jump_to <= loop_idx):
+            self._note(fused_i, f"jump_to ({step.jump_to + 1}) must skip "
+                                "past the capture step")
+
     # -- embedded plans ----------------------------------------------------
 
     def check_embedded_plans(self) -> None:
         for i, step in enumerate(self.steps):
-            if isinstance(step, (MaterializeStep, ReturnStep)):
+            if isinstance(step, (MaterializeStep, ReturnStep,
+                                 DeltaFusedStep)):
                 checker = PlanChecker(self.catalog)
                 for violation in checker.check(step.plan):
                     self._note(i, violation)

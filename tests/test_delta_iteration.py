@@ -13,7 +13,11 @@ import pytest
 from repro.datasets import dblp_like, generate_edges
 from repro.engine.database import Database
 from repro.execution import SessionOptions
-from repro.plan.program import DeltaApplyStep, DeltaGateStep
+from repro.plan.program import (
+    DeltaApplyStep,
+    DeltaFusedStep,
+    DeltaGateStep,
+)
 from repro.types import SqlType
 from repro.workloads import (
     ff_query,
@@ -112,21 +116,34 @@ class TestTerminationFamilies:
 
 
 class TestProgramShape:
-    def _program(self, sql, delta_on):
+    def _program(self, sql, delta_on, **options):
         from repro.core.rewrite import compile_statement
         from repro.execution import ExecutionStats
         from repro.plan import PlanContext
         from repro.sql import parse
-        db = graph_db(EDGES, delta_on=delta_on)
+        db = graph_db(EDGES, delta_on=delta_on, **options)
         return compile_statement(
             parse(sql), PlanContext(db.catalog), db.options,
             ExecutionStats())
 
-    def test_delta_steps_emitted_when_safe_and_enabled(self):
+    def test_fused_delta_step_emitted_when_safe_and_enabled(self):
         program = self._program(sssp_query(source=1, iterations=5), True)
+        kinds = [type(step) for step in program.steps]
+        assert DeltaFusedStep in kinds
+        assert DeltaGateStep not in kinds
+        assert DeltaApplyStep not in kinds
+        fused = next(s for s in program.steps
+                     if isinstance(s, DeltaFusedStep))
+        assert fused.jump_full > 0 and fused.jump_to > fused.jump_full
+        assert fused.jump_to == fused.jump_done
+
+    def test_quartet_emitted_when_fusion_disabled(self):
+        program = self._program(sssp_query(source=1, iterations=5), True,
+                                enable_delta_fusion=False)
         kinds = [type(step) for step in program.steps]
         assert DeltaGateStep in kinds
         assert DeltaApplyStep in kinds
+        assert DeltaFusedStep not in kinds
         gate = next(s for s in program.steps
                     if isinstance(s, DeltaGateStep))
         assert gate.jump_full > 0 and gate.jump_done > gate.jump_full

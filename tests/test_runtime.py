@@ -18,7 +18,7 @@ from repro.engine.database import Database
 from repro.execution import SessionOptions
 from repro.middleware import MiddlewareDriver
 from repro.obs.export import validate_trace_dict
-from repro.plan.program import DeltaGateStep
+from repro.plan.program import DeltaFusedStep, DeltaGateStep
 from repro.procedures import ExecuteSql, Loop, Procedure, ProcedureCatalog, ReturnQuery
 from repro.types import SqlType
 from repro.workloads import pagerank_query, sssp_query
@@ -134,12 +134,85 @@ class TestMidLoopDemotion:
         assert db.stats.delta_iterations >= 7
 
 
+# Frontier profile by construction: iterations 1-3 rewrite every row
+# (v < 3.0), demoting the loop after two near-full frontiers; from
+# iteration 4 only the MOD(node, 10) = 0 stragglers keep moving, so the
+# frontier collapses to ~10% and the promotion watcher hands the loop
+# back to semi-naive delta for the remaining iterations.
+PROMOTION_SQL = """
+WITH ITERATIVE r (node, v) AS (
+  SELECT src, 0.0 FROM edges GROUP BY src
+  ITERATE SELECT r.node,
+          CASE WHEN r.v < 3.0 OR MOD(r.node, 10) = 0
+               THEN r.v + 1.0 ELSE r.v END
+          FROM r
+  UNTIL 12 ITERATIONS
+) SELECT node, v FROM r ORDER BY node"""
+
+
+class TestMidLoopPromotion:
+    """The inverse of demotion: a demoted loop whose frontier later
+    collapses gets promoted back to semi-naive delta mid-flight."""
+
+    def test_demoted_loop_repromotes_when_the_frontier_collapses(self):
+        full, delta, db = both_modes(PROMOTION_SQL)
+        assert full == delta
+        assert db.stats.strategy_demotions == 1
+        assert db.stats.strategy_promotions == 1
+        # Delta iterations ran both before the demotion and after the
+        # promotion.
+        assert db.stats.delta_iterations > 2
+
+    def test_promotion_visible_in_explain_analyze(self):
+        db = graph_db(enable_delta_iteration=True)
+        report = db.explain_analyze(PROMOTION_SQL)
+        assert "promoted" in report
+        assert "-> semi-naive-delta" in report
+
+    def test_telemetry_records_the_strategy_chain(self):
+        db = graph_db(enable_delta_iteration=True, enable_tracing=True)
+        db.execute(PROMOTION_SQL)
+        chain = db.last_trace().loops[0].strategy
+        assert chain is not None and chain.count("->") == 2
+        assert chain.startswith("semi-naive-delta")
+        assert chain.endswith("semi-naive-delta")
+
+    def test_promotion_can_be_disabled(self):
+        full, delta, db = both_modes(PROMOTION_SQL,
+                                     enable_strategy_promotion=False)
+        assert full == delta
+        assert db.stats.strategy_demotions == 1
+        assert db.stats.strategy_promotions == 0
+
+    def test_full_frontier_never_promotes(self):
+        # PageRank's frontier never collapses: the loop demotes once and
+        # stays demoted.
+        full, delta, db = both_modes(pagerank_query(iterations=8))
+        assert full == delta
+        assert db.stats.strategy_demotions == 1
+        assert db.stats.strategy_promotions == 0
+
+    def test_permanent_disqualification_never_promotes(self):
+        # Duplicate keys disable delta evaluation outright; the frontier
+        # being tiny afterwards must not resurrect it.
+        sql = """
+        WITH ITERATIVE r (node, v) AS (
+          SELECT src, 0.0 FROM edges
+          ITERATE SELECT r.node, r.v + 1.0 FROM r
+          UNTIL 6 ITERATIONS
+        ) SELECT node, v FROM r"""
+        full, delta, db = both_modes(sql)
+        assert full == delta
+        assert db.stats.strategy_promotions == 0
+        assert db.stats.delta_iterations == 0
+
+
 class TestInnerJoinSafety:
     def test_analyzer_accepts_inner_join_without_where(self):
         db = graph_db(enable_delta_iteration=True)
         program = _compile(db, INNER_JOIN_SQL)
         gates = [s for s in program.steps
-                 if isinstance(s, DeltaGateStep)]
+                 if isinstance(s, DeltaFusedStep)]
         assert gates and gates[0].spec.guard_keyset
 
     def test_analyzer_leaves_left_joins_unguarded(self):
@@ -147,7 +220,7 @@ class TestInnerJoinSafety:
         program = _compile(db, INNER_JOIN_SQL.replace(
             "FROM r JOIN edges", "FROM r LEFT JOIN edges"))
         gates = [s for s in program.steps
-                 if isinstance(s, DeltaGateStep)]
+                 if isinstance(s, DeltaFusedStep)]
         assert gates and not gates[0].spec.guard_keyset
 
     def test_inner_join_body_runs_in_delta_mode(self):
@@ -190,7 +263,7 @@ class TestInnerJoinSafety:
         db = graph_db(enable_delta_iteration=True)
         program = _compile(db, sql)
         gates = [s for s in program.steps
-                 if isinstance(s, DeltaGateStep)]
+                 if isinstance(s, DeltaFusedStep)]
         assert gates and not gates[0].spec.guard_keyset
 
 
@@ -221,7 +294,8 @@ class TestStepIdentityProfiles:
 
         from repro.plan.program import DeltaApplyStep
 
-        db = graph_db(SMALL_EDGES, enable_delta_iteration=True)
+        db = graph_db(SMALL_EDGES, enable_delta_iteration=True,
+                      enable_delta_fusion=False)
         program = _compile(db, KEY_DROPPING_SQL)
         ctx = ExecutionContext(db.catalog, db.registry, db.options,
                                db.stats, db.kernel_cache)

@@ -1,0 +1,112 @@
+"""Storage verifier: SegmentedTable consolidation invariants.
+
+The checks in :mod:`repro.verify.storage` run after every fixpoint
+append (see the recursive-merge handler); these tests pin down both
+directions — well-formed tables produce no violations, and each seeded
+invariant breach is named in the report.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.errors import VerificationError
+from repro.storage import Column, SegmentedTable, Table
+from repro.storage.table import Schema
+from repro.types import SqlType
+from repro.verify import check_segmented_table, verify_segmented_table
+
+SCHEMA = Schema.of(("a", SqlType.INTEGER), ("b", SqlType.FLOAT))
+
+
+def _table(rows) -> Table:
+    return Table.from_rows(SCHEMA, rows)
+
+
+def _segmented(*batches) -> SegmentedTable:
+    segmented = SegmentedTable.wrap(_table(list(batches[0])))
+    for batch in batches[1:]:
+        segmented.append(_table(list(batch)))
+    return segmented
+
+
+class TestWellFormed:
+    def test_no_violations_metadata_only(self):
+        table = _segmented([(1, 0.5)], [(2, 1.5), (3, None)])
+        assert check_segmented_table(table) == []
+
+    def test_no_violations_after_consolidation(self):
+        table = _segmented([(1, 0.5)], [(2, 1.5), (3, None)])
+        assert check_segmented_table(table, consolidate=True) == []
+        # Idempotent: a consolidated table still verifies.
+        assert check_segmented_table(table, consolidate=True) == []
+
+    def test_watermarks_are_cumulative(self):
+        table = _segmented([(1, 0.5)], [(2, 1.5), (3, None)], [(4, 2.0)])
+        assert table.watermarks == [1, 3, 4]
+        assert table.watermarks[-1] == table.num_rows
+
+    def test_empty_append_leaves_no_empty_segment(self):
+        table = _segmented([(1, 0.5)])
+        table.append(Table.empty(SCHEMA))
+        assert table.segment_count == 1
+        assert check_segmented_table(table) == []
+
+
+class TestSeededViolations:
+    def test_empty_segment_breaks_the_watermark_invariant(self):
+        table = _segmented([(1, 0.5)])
+        table._segments.append(Table.empty(SCHEMA))
+        violations = check_segmented_table(table)
+        assert any("never be empty" in v for v in violations)
+
+    def test_arity_mismatch_is_reported(self):
+        table = _segmented([(1, 0.5)])
+        table._segments.append(Table.from_rows(
+            Schema.of(("a", SqlType.INTEGER)), [(2,)]))
+        violations = check_segmented_table(table)
+        assert any("arity" in v for v in violations)
+
+    def test_consolidated_dtype_divergence_is_reported(self):
+        table = _segmented([(1, 0.5)], [(2, 1.5)])
+        table.columns  # force a clean consolidation first
+        bad = table._flat.columns[0]
+        table._flat.columns[0] = Column(
+            bad.sql_type, bad.data.astype(np.float64), bad.mask)
+        violations = check_segmented_table(table, consolidate=True)
+        assert any("dtype" in v for v in violations)
+
+    def test_consolidated_length_divergence_is_reported(self):
+        table = _segmented([(1, 0.5)], [(2, 1.5)])
+        total = table.num_rows
+        table.columns
+        bad = table._flat.columns[1]
+        table._flat.columns[1] = Column(
+            bad.sql_type, bad.data[:1], bad.mask[:1])
+        violations = check_segmented_table(table, consolidate=True)
+        assert any(f"table has {total}" in v for v in violations)
+
+    def test_verify_raises_with_the_pass_name(self):
+        table = _segmented([(1, 0.5)])
+        table._segments.append(Table.empty(SCHEMA))
+        with pytest.raises(VerificationError) as excinfo:
+            verify_segmented_table(table, "unit-test append")
+        assert "unit-test append" in str(excinfo.value)
+        assert "never be empty" in str(excinfo.value)
+
+
+class TestMergeHandlerIntegration:
+    def test_recursive_fixpoint_passes_the_verifier(self):
+        # enable_plan_verifier defaults on under pytest: every merge
+        # append in this closure runs check_segmented_table.
+        db = Database()
+        db.create_table("edge", [("a", SqlType.INTEGER),
+                                 ("b", SqlType.INTEGER)])
+        db.load_rows("edge", [(i, i + 1) for i in range(1, 20)])
+        rows = db.execute("""
+        WITH RECURSIVE reach (a, b) AS (
+          SELECT a, b FROM edge
+          UNION
+          SELECT r.a, e.b FROM reach r JOIN edge e ON r.b = e.a
+        ) SELECT count(*) FROM reach""").rows()
+        assert rows == [(sum(range(1, 20)),)]

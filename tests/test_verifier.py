@@ -67,6 +67,12 @@ def _fresh(shape):
         db = _graph_db(enable_delta_iteration=False)
         sql = sssp_query(source=1, iterations=5)
     elif shape == "delta":
+        # The quartet shape: fusion off keeps the five-step delta block
+        # the index-based mutations below rely on.
+        db = _graph_db(enable_delta_iteration=True,
+                       enable_delta_fusion=False)
+        sql = sssp_query(source=1, iterations=5)
+    elif shape == "fused":
         db = _graph_db(enable_delta_iteration=True)
         sql = sssp_query(source=1, iterations=5)
     elif shape == "recursive":
@@ -105,6 +111,9 @@ def _first_column_ref(node):
 #                    5 dupcheck, 6 apply, 7 snapshot, 8 mat work,
 #                    9 dupcheck, 10 mat merge, 11 rename, 12 capture,
 #                    13 inc, 14 loop, 15 ret, 16 drop
+#   fused:           0 mat cte, 1 init, 2 fused, 3 snapshot, 4 mat work,
+#                    5 dupcheck, 6 mat merge, 7 rename, 8 capture,
+#                    9 inc, 10 loop, 11 ret, 12 drop
 #   recursive:       0 mat cte, 1 mat work, 2 init, 3 mat cand,
 #                    4 merge, 5 loop, 6 ret, 7 drop
 
@@ -183,6 +192,33 @@ def _mut_merge_feeds_wrong_working(program):
     program.steps[4].working = "__other"
 
 
+def _mut_fused_unpatched_jump(program):
+    program.steps[2].jump_full = -1
+
+
+def _mut_fused_dup_check_flip(program):
+    program.steps[2].dup_check = False
+
+
+def _mut_fused_columns_diverge(program):
+    names = list(program.steps[2].column_names)
+    names[0] = "not_the_key"
+    program.steps[2].column_names = names
+
+
+def _mut_fused_jump_targets_diverge(program):
+    program.steps[2].jump_done = program.steps[2].jump_full
+
+
+def _mut_fused_coexists_with_quartet(program):
+    from repro.plan.program import DeltaPartitionStep
+    program.steps[3] = DeltaPartitionStep(program.steps[2].spec)
+
+
+def _mut_fused_capture_missing(program):
+    program.steps[8] = DropStep([])
+
+
 MUTATIONS = [
     ("jump_past_end", "iterative", _mut_jump_past_end,
      "past the end"),
@@ -218,12 +254,24 @@ MUTATIONS = [
      "out of order"),
     ("merge_feeds_wrong_working", "recursive",
      _mut_merge_feeds_wrong_working, "RecursiveMergeStep"),
+    ("fused_unpatched_jump", "fused", _mut_fused_unpatched_jump,
+     "never patched"),
+    ("fused_dup_check_flip", "fused", _mut_fused_dup_check_flip,
+     "duplicate-check"),
+    ("fused_columns_diverge", "fused", _mut_fused_columns_diverge,
+     "diverge from the DeltaSpec"),
+    ("fused_jump_targets_diverge", "fused",
+     _mut_fused_jump_targets_diverge, "diverge; both must target"),
+    ("fused_coexists_with_quartet", "fused",
+     _mut_fused_coexists_with_quartet, "coexists"),
+    ("fused_capture_missing", "fused", _mut_fused_capture_missing,
+     "DeltaCaptureStep"),
 ]
 
 
 class TestPristinePrograms:
     @pytest.mark.parametrize(
-        "shape", ["iterative", "delta", "recursive", "where"])
+        "shape", ["iterative", "delta", "fused", "recursive", "where"])
     def test_compiles_clean(self, shape):
         program, catalog = _fresh(shape)
         assert check_program(program, catalog) == []
