@@ -14,10 +14,16 @@ from __future__ import annotations
 
 import pytest
 
-from repro.harness import print_series, time_query
+from repro.datasets import dblp_like
+from repro.harness import (
+    Comparison,
+    print_series,
+    time_query,
+    write_bench_artifact,
+)
 from repro.workloads import ff_query
 
-from conftest import ITERATIONS
+from conftest import FF_NODES, ITERATIONS, build_db
 
 SELECTIVITIES = [2, 4, 10, 20, 100]
 
@@ -28,21 +34,24 @@ def ff_sql(mod):
 
 
 def sweep(db):
-    rows = []
+    comparisons = []
     for mod in SELECTIVITIES:
         sql = ff_sql(mod)
         db.set_option("enable_predicate_pushdown", False)
-        baseline = time_query(db, sql, repeats=3, warmup=1)
+        baseline = time_query(db, sql, repeats=3, warmup=1,
+                              label=f"MOD(node, {mod})/baseline")
         db.set_option("enable_predicate_pushdown", True)
-        optimized = time_query(db, sql, repeats=3, warmup=1)
-        rows.append((f"MOD(node, {mod}) = 0", f"{100 / mod:.1f}%",
-                     baseline.seconds, optimized.seconds,
-                     f"{baseline.seconds / optimized.seconds:.1f}x"))
-    return rows
+        optimized = time_query(db, sql, repeats=3, warmup=1,
+                               label=f"MOD(node, {mod})/pushed")
+        comparisons.append(
+            Comparison(f"MOD(node, {mod}) = 0", baseline, optimized))
+    return comparisons
 
 
-def test_fig10_report(ff_db):
-    rows = sweep(ff_db)
+def report(comparisons):
+    rows = [(c.name, f"{100 / mod:.1f}%", c.baseline.seconds,
+             c.optimized.seconds, f"{c.speedup:.1f}x")
+            for c, mod in zip(comparisons, SELECTIVITIES)]
     print_series(
         f"Fig. 10 — predicate push down, FF with {ITERATIONS} iterations",
         ["predicate", "selectivity", "baseline (s)", "pushed (s)",
@@ -51,8 +60,28 @@ def test_fig10_report(ff_db):
         "baseline flat across selectivities; pushed improves with "
         "selectivity, >10x at the most selective point")
 
-    baselines = [row[2] for row in rows]
-    optimized = [row[3] for row in rows]
+
+def run_benchmark(artifact_dir=None):
+    comparisons = sweep(build_db(dblp_like(nodes=FF_NODES, seed=21),
+                                 with_vertex_status=False))
+    report(comparisons)
+    if artifact_dir is not None:
+        path = write_bench_artifact(
+            "fig10_pushdown",
+            comparisons=comparisons,
+            extra={"iterations": ITERATIONS,
+                   "selectivities": SELECTIVITIES},
+            directory=artifact_dir)
+        print(f"wrote {path}")
+    return comparisons
+
+
+def test_fig10_report(ff_db):
+    comparisons = sweep(ff_db)
+    report(comparisons)
+
+    baselines = [c.baseline.seconds for c in comparisons]
+    optimized = [c.optimized.seconds for c in comparisons]
     # Baseline is flat: the CTE is evaluated in full regardless.
     assert max(baselines) / min(baselines) < 2.0
     # Optimized improves monotonically-ish with selectivity and beats an
@@ -87,6 +116,4 @@ def test_fig10_benchmark(benchmark, ff_db, enable, mod):
 
 
 if __name__ == "__main__":  # pragma: no cover
-    import pytest
-    import sys
-    sys.exit(pytest.main([__file__, "-s", "--benchmark-only"]))
+    run_benchmark(artifact_dir=".")

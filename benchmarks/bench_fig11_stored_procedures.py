@@ -12,7 +12,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.harness import Comparison, print_figure, time_callable
+from repro.datasets import dblp_like
+from repro.harness import (
+    Comparison,
+    print_figure,
+    time_callable,
+    write_bench_artifact,
+)
 from repro.procedures import (
     ExecuteSql,
     Procedure,
@@ -22,7 +28,7 @@ from repro.procedures import (
 from repro.workloads import friends, pagerank, sssp
 from repro.workloads import ff_query, pagerank_query, sssp_query
 
-from conftest import ITERATIONS
+from conftest import DBLP_NODES, ITERATIONS, build_db
 
 FF_SELECTIVITY = 2  # MOD(node, 2) = 0 — the paper's 50%
 
@@ -76,13 +82,31 @@ def timed_case(db, name, cte_sql, script, final_sql, cleanup):
     return Comparison(name, procedure, cte)
 
 
-def test_fig11_report(dblp_db):
+def build_comparisons(dblp_db):
     comparisons = [timed_case(dblp_db, *case) for case in CASES]
     print_figure(
         f"Fig. 11 — iterative CTEs vs stored procedures, "
         f"{ITERATIONS} iterations (dblp-like)",
         comparisons,
         "CTEs >=25% faster for PR/SSSP; >80% faster for FF")
+    return comparisons
+
+
+def run_benchmark(artifact_dir=None):
+    comparisons = build_comparisons(build_db(dblp_like(nodes=DBLP_NODES)))
+    if artifact_dir is not None:
+        path = write_bench_artifact(
+            "fig11_stored_procedures",
+            comparisons=comparisons,
+            extra={"iterations": ITERATIONS,
+                   "cases": [case[0] for case in CASES]},
+            directory=artifact_dir)
+        print(f"wrote {path}")
+    return comparisons
+
+
+def test_fig11_report(dblp_db):
+    comparisons = build_comparisons(dblp_db)
     by_name = {c.name: c for c in comparisons}
     assert by_name["PR-VS"].improvement_pct > 15
     assert by_name["SSSP-VS"].improvement_pct > 15
@@ -127,6 +151,4 @@ def test_fig11_benchmark_pr(benchmark, dblp_db, mode):
 
 
 if __name__ == "__main__":  # pragma: no cover
-    import pytest
-    import sys
-    sys.exit(pytest.main([__file__, "-s", "--benchmark-only"]))
+    run_benchmark(artifact_dir=".")

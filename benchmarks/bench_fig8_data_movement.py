@@ -15,10 +15,16 @@ from __future__ import annotations
 
 import pytest
 
-from repro.harness import Comparison, print_figure, time_query
+from repro.datasets import dblp_like, pokec_like
+from repro.harness import (
+    Comparison,
+    print_figure,
+    time_query,
+    write_bench_artifact,
+)
 from repro.workloads import ff_query, pagerank_query
 
-from conftest import ITERATIONS
+from conftest import DBLP_NODES, ITERATIONS, POKEC_NODES, build_db
 
 PR_SQL = pagerank_query(iterations=ITERATIONS)
 FF_SQL = ff_query(iterations=ITERATIONS, selectivity_mod=None,
@@ -44,7 +50,7 @@ def test_fig8_rename_never_loses(query, label, dblp_db):
     assert comparison.improvement_pct > -5  # allow timing noise
 
 
-def test_fig8_ff_gains_much_more_than_pr(dblp_db, pokec_db):
+def build_comparisons(dblp_db, pokec_db):
     comparisons = []
     for db, dataset in ((dblp_db, "dblp-like"), (pokec_db, "pokec-like")):
         comparisons.append(timed_pair(db, PR_SQL, f"PR {dataset}"))
@@ -54,6 +60,26 @@ def test_fig8_ff_gains_much_more_than_pr(dblp_db, pokec_db):
         f"{ITERATIONS} iterations",
         comparisons,
         "FF improves up to 48%; PR improvement small (joins dominate)")
+    return comparisons
+
+
+def run_benchmark(artifact_dir=None):
+    comparisons = build_comparisons(build_db(dblp_like(nodes=DBLP_NODES)),
+                                    build_db(pokec_like(nodes=POKEC_NODES)))
+    if artifact_dir is not None:
+        path = write_bench_artifact(
+            "fig8_data_movement",
+            comparisons=comparisons,
+            extra={"iterations": ITERATIONS,
+                   "datasets": ["dblp-like", "pokec-like"],
+                   "queries": ["PR", "FF"]},
+            directory=artifact_dir)
+        print(f"wrote {path}")
+    return comparisons
+
+
+def test_fig8_ff_gains_much_more_than_pr(dblp_db, pokec_db):
+    comparisons = build_comparisons(dblp_db, pokec_db)
     by_name = {c.name: c for c in comparisons}
     for dataset in ("dblp-like", "pokec-like"):
         ff = by_name[f"FF {dataset}"]
@@ -98,6 +124,4 @@ def test_fig8_benchmark_pr(benchmark, dblp_db, enable):
 
 
 if __name__ == "__main__":  # pragma: no cover
-    import pytest
-    import sys
-    sys.exit(pytest.main([__file__, "-s", "--benchmark-only"]))
+    run_benchmark(artifact_dir=".")

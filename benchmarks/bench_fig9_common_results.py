@@ -14,10 +14,16 @@ from __future__ import annotations
 
 import pytest
 
-from repro.harness import Comparison, print_figure, time_query
+from repro.datasets import dblp_like, pokec_like
+from repro.harness import (
+    Comparison,
+    print_figure,
+    time_query,
+    write_bench_artifact,
+)
 from repro.workloads import pagerank_query, sssp_query
 
-from conftest import ITERATIONS
+from conftest import DBLP_NODES, ITERATIONS, POKEC_NODES, build_db
 
 PRVS_SQL = pagerank_query(iterations=ITERATIONS, with_vertex_status=True)
 SSSPVS_SQL = sssp_query(source=1, iterations=ITERATIONS,
@@ -34,7 +40,7 @@ def timed_pair(db, sql, label):
     return Comparison(label, baseline, optimized)
 
 
-def test_fig9_report(dblp_db, pokec_db):
+def build_comparisons(dblp_db, pokec_db):
     comparisons = []
     for db, dataset in ((dblp_db, "dblp-like"), (pokec_db, "pokec-like")):
         comparisons.append(timed_pair(db, PRVS_SQL, f"PR-VS {dataset}"))
@@ -45,6 +51,26 @@ def test_fig9_report(dblp_db, pokec_db):
         comparisons,
         "~20% faster on DBLP, ~10% on Pokec; same pattern for both "
         "queries")
+    return comparisons
+
+
+def run_benchmark(artifact_dir=None):
+    comparisons = build_comparisons(build_db(dblp_like(nodes=DBLP_NODES)),
+                                    build_db(pokec_like(nodes=POKEC_NODES)))
+    if artifact_dir is not None:
+        path = write_bench_artifact(
+            "fig9_common_results",
+            comparisons=comparisons,
+            extra={"iterations": ITERATIONS,
+                   "datasets": ["dblp-like", "pokec-like"],
+                   "queries": ["PR-VS", "SSSP-VS"]},
+            directory=artifact_dir)
+        print(f"wrote {path}")
+    return comparisons
+
+
+def test_fig9_report(dblp_db, pokec_db):
+    comparisons = build_comparisons(dblp_db, pokec_db)
     for comparison in comparisons:
         assert comparison.improvement_pct > 0, (
             f"{comparison.name}: materializing the invariant join must "
@@ -92,6 +118,4 @@ def test_fig9_benchmark_ssspvs(benchmark, pokec_db, enable):
 
 
 if __name__ == "__main__":  # pragma: no cover
-    import pytest
-    import sys
-    sys.exit(pytest.main([__file__, "-s", "--benchmark-only"]))
+    run_benchmark(artifact_dir=".")

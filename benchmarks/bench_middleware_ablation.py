@@ -11,7 +11,7 @@ import pytest
 from repro import Database
 from repro.datasets import dblp_like, load_graph
 from repro.harness import Comparison, print_figure, print_series, \
-    time_callable
+    time_callable, write_bench_artifact
 from repro.middleware import MiddlewareDriver
 from repro.workloads import pagerank_query
 
@@ -34,7 +34,7 @@ def middleware_db():
     return db
 
 
-def test_middleware_report(native_db, middleware_db):
+def build_comparison(native_db, middleware_db):
     native = time_callable("native",
                            lambda: native_db.execute(PR_SQL),
                            repeats=3, warmup=1)
@@ -49,6 +49,29 @@ def test_middleware_report(native_db, middleware_db):
         [comparison],
         "§II: the native single plan avoids per-statement DDL/DML "
         "overheads entirely")
+    return comparison
+
+
+def _fresh_db():
+    db = Database()
+    load_graph(db, SPEC)
+    return db
+
+
+def run_benchmark(artifact_dir=None):
+    comparison = build_comparison(_fresh_db(), _fresh_db())
+    if artifact_dir is not None:
+        path = write_bench_artifact(
+            "middleware_ablation",
+            comparisons=[comparison],
+            extra={"iterations": ITERATIONS, "nodes": SPEC.nodes},
+            directory=artifact_dir)
+        print(f"wrote {path}")
+    return comparison
+
+
+def test_middleware_report(native_db, middleware_db):
+    comparison = build_comparison(native_db, middleware_db)
     assert comparison.improvement_pct > 0, \
         "the native path must beat the external driver"
 
@@ -105,6 +128,4 @@ def test_middleware_benchmark(benchmark, native_db, middleware_db, mode):
 
 
 if __name__ == "__main__":  # pragma: no cover
-    import pytest
-    import sys
-    sys.exit(pytest.main([__file__, "-s", "--benchmark-only"]))
+    run_benchmark(artifact_dir=".")

@@ -9,10 +9,14 @@ rewrite approach depends on being cheap).
 from __future__ import annotations
 
 from repro.core.rewrite import compile_statement
+from repro.datasets import dblp_like
 from repro.execution import ExecutionStats, SessionOptions
+from repro.harness import time_callable, write_bench_artifact
 from repro.plan import PlanContext
 from repro.sql import parse
 from repro.workloads import pagerank_query
+
+from conftest import DBLP_NODES, build_db
 
 PAPER_TABLE_1 = """\
 Step 1  Materialize PageRank with the results of the union of src/dst
@@ -27,6 +31,26 @@ def compile_pr(db, iterations=10):
     statement = parse(pagerank_query(iterations=iterations))
     return compile_statement(statement, PlanContext(db.catalog),
                              SessionOptions(), ExecutionStats())
+
+
+def run_benchmark(artifact_dir=None):
+    db = build_db(dblp_like(nodes=DBLP_NODES))
+    compile_time = time_callable("plan_compile",
+                                 lambda: compile_pr(db),
+                                 repeats=5, warmup=1)
+    program = compile_pr(db)
+    print(f"plan compilation: {compile_time.seconds * 1000:.2f}ms "
+          f"median of {compile_time.repeats}")
+    print(program.explain())
+    if artifact_dir is not None:
+        path = write_bench_artifact(
+            "table1_plan",
+            measurements=[compile_time],
+            extra={"steps": len(program.steps),
+                   "plan": program.explain().splitlines()},
+            directory=artifact_dir)
+        print(f"wrote {path}")
+    return compile_time
 
 
 def test_table1_step_structure(dblp_db):
@@ -64,6 +88,4 @@ def test_plan_is_a_single_unit(dblp_db):
 
 
 if __name__ == "__main__":  # pragma: no cover
-    import pytest
-    import sys
-    sys.exit(pytest.main([__file__, "-s", "--benchmark-only"]))
+    run_benchmark(artifact_dir=".")

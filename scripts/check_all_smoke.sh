@@ -10,6 +10,7 @@
 #   lint       repro-lint + its pytest guard  engine lint (AST rules)
 #   procedures tests/test_procedures_smoke.py stored-procedure baseline
 #   tracediff  scripts/check_trace_diff.sh    native vs baseline diff
+#   perf       scripts/check_perf_gate.sh     perf ledger + regression gate
 #
 # Usage: scripts/check_all_smoke.sh [extra pytest args...]
 set -euo pipefail
@@ -45,6 +46,8 @@ run_guard repro-lint env PYTHONPATH=src python -m repro.verify.lint
 run_pytest_guard procedures procedures_smoke "$@"
 run_pytest_guard tracediff tracediff_smoke "$@"
 run_guard trace-diff-cli scripts/check_trace_diff.sh
+run_pytest_guard perf perf_smoke "$@"
+run_guard perf-gate-cli scripts/check_perf_gate.sh
 
 if [ -n "$failed" ]; then
     echo "smoke: FAILED guards:$failed" >&2

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Perf-gate self-test: prove the regression gate trips on a seeded
+# slowdown and passes on an unmodified rerun, against a throwaway
+# ledger (the repo ledger is never touched).
+#
+#   1. record baselines into a temp ledger
+#   2. check with no change        -> must exit 0
+#   3. check with --slowdown 0.2   -> must exit non-zero
+#
+# Usage: scripts/check_perf_gate.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ledger="$(mktemp -d)/PERF_LEDGER.jsonl"
+trap 'rm -rf "$(dirname "$ledger")"' EXIT
+
+run_perf() {
+    env PYTHONPATH=src python -m repro.harness.perfgate \
+        --ledger "$ledger" "$@"
+}
+
+echo "== perf gate: record baselines =="
+run_perf record --repeats 3
+
+echo "== perf gate: unmodified rerun must pass =="
+run_perf check --repeats 3
+
+echo "== perf gate: seeded 200ms slowdown must trip =="
+if run_perf check --repeats 3 --slowdown 0.2 > /dev/null; then
+    echo "perf gate: FAILED — seeded regression not detected" >&2
+    exit 1
+fi
+
+echo "perf gate: ok (clean pass + seeded regression detected)"

@@ -186,6 +186,19 @@ class Database:
             cost_report = estimate_program(
                 program, self.statistics,
                 default_iterations=self.options.default_iteration_estimate)
+            for estimate in cost_report.loop_estimates:
+                spec = program.loops.get(estimate.loop_id)
+                tracer.event(
+                    "loop_estimate", kind="decision",
+                    loop_id=estimate.loop_id,
+                    cte=spec.cte_name if spec is not None else "",
+                    estimated_iterations=estimate.iterations,
+                    basis=estimate.basis,
+                    estimated_cost_per_iteration=(
+                        cost_report.per_iteration_cost.get(
+                            estimate.loop_id)),
+                    reason=(f"compile-time iteration estimate on a "
+                            f"{estimate.basis} basis"))
             ctx = ExecutionContext(self.catalog, self.registry,
                                    self.options, self.stats,
                                    self.kernel_cache, tracer=tracer)

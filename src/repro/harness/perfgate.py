@@ -1,0 +1,231 @@
+"""``repro-perf``: the perf-regression gate over the run ledger.
+
+The gate runs a fixed set of smoke-scale workloads — each one small
+enough for CI but shaped like the paper's evaluation queries (delta
+SSSP, full-recompute PageRank, a fixpoint reachability) — through
+:func:`repro.harness.time_fresh`, and compares the fresh medians against
+the most recent ``baseline`` records in the ledger
+(:mod:`repro.obs.ledger`) using the noise-aware median + k*MAD test.
+
+Commands::
+
+    repro-perf record              # append baseline records
+    repro-perf check               # fresh run vs baselines; exit 1 on
+                                   # regression (appends check records)
+    repro-perf list                # show the ledger
+
+``check --slowdown 0.05`` injects an artificial sleep into every timed
+run — the self-test that proves the gate trips (used by
+``scripts/check_perf_gate.sh`` and the CI perf-gate job).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..datasets import dblp_like, load_graph
+from ..engine import Database
+from ..execution import SessionOptions
+from ..obs import ledger as ledger_mod
+from ..obs.ledger import (
+    RunRecord,
+    append_records,
+    check_regression,
+    latest_baseline,
+    options_hash,
+    read_ledger,
+    record_from_samples,
+)
+from ..workloads import pagerank_query, sssp_query
+from .experiment import time_fresh
+
+BENCHMARK_NAME = "perfgate"
+LEDGER_ENV = "REPRO_PERF_LEDGER"
+
+_REACH_FIXPOINT_SQL = """
+WITH ITERATIVE r (node, v) AS (
+  SELECT src, 0.0 FROM edges GROUP BY src
+  ITERATE SELECT r.node, min(r.v + e.weight)
+          FROM r JOIN edges e ON e.src = r.node
+          GROUP BY r.node
+  UNTIL 5 ITERATIONS
+) SELECT node, v FROM r ORDER BY node"""
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One gated workload: graph + session options + query."""
+
+    name: str
+    nodes: int
+    seed: int
+    options: dict
+    sql_factory: Callable[[], str]
+
+    def build(self) -> Database:
+        db = Database(SessionOptions(**self.options))
+        load_graph(db, dblp_like(nodes=self.nodes, seed=self.seed))
+        return db
+
+
+WORKLOADS = {
+    workload.name: workload for workload in (
+        Workload("sssp_delta", nodes=300, seed=7,
+                 options={"enable_delta_iteration": True},
+                 sql_factory=lambda: sssp_query(source=1, iterations=6)),
+        Workload("pagerank_full", nodes=250, seed=11,
+                 options={"enable_delta_iteration": False},
+                 sql_factory=lambda: pagerank_query(iterations=6)),
+        Workload("reach_fixpoint", nodes=200, seed=3,
+                 options={"enable_delta_iteration": True},
+                 sql_factory=lambda: _REACH_FIXPOINT_SQL),
+    )
+}
+
+
+def default_ledger_path(directory: str = ".") -> str:
+    """The ledger location: ``$REPRO_PERF_LEDGER`` or
+    ``<directory>/PERF_LEDGER.jsonl``."""
+    env = os.environ.get(LEDGER_ENV)
+    if env:
+        return env
+    return os.path.join(directory, ledger_mod.DEFAULT_LEDGER_NAME)
+
+
+def run_workload(workload: Workload, repeats: int = 5,
+                 slowdown: float = 0.0,
+                 kind: str = "baseline") -> RunRecord:
+    """Time one workload against fresh state and shape it as a ledger
+    record.  ``slowdown`` seconds of sleep inside the timed window seed
+    a deliberate regression (the gate's self-test)."""
+    sql = workload.sql_factory()
+
+    def run(db) -> None:
+        if slowdown > 0.0:
+            time.sleep(slowdown)
+        db.execute(sql)
+
+    measurement = time_fresh(workload.name, workload.build, run,
+                             repeats=repeats, warmup=1)
+    return record_from_samples(
+        BENCHMARK_NAME, workload.name, measurement.all_seconds,
+        options=workload.options, kind=kind)
+
+
+def _select(pattern: Optional[str]) -> list[Workload]:
+    names = sorted(WORKLOADS)
+    if pattern:
+        names = [name for name in names if pattern in name]
+    return [WORKLOADS[name] for name in names]
+
+
+def _cmd_record(args) -> int:
+    records = []
+    for workload in _select(args.workload):
+        record = run_workload(workload, repeats=args.repeats)
+        records.append(record)
+        print(f"recorded baseline {workload.name}: "
+              f"{record.median_seconds * 1000:.2f}ms median, MAD "
+              f"{record.mad_seconds * 1000:.3f}ms "
+              f"({record.repeats} repeats)")
+    append_records(records, args.ledger)
+    print(f"appended {len(records)} baseline record(s) to {args.ledger}")
+    return 0
+
+
+def _cmd_check(args) -> int:
+    history = read_ledger(args.ledger)
+    failed = False
+    to_append: list[RunRecord] = []
+    for workload in _select(args.workload):
+        baseline = latest_baseline(
+            history, BENCHMARK_NAME, workload.name,
+            options=options_hash(workload.options))
+        if baseline is None:
+            if args.bootstrap_missing:
+                record = run_workload(workload, repeats=args.repeats)
+                to_append.append(record)
+                print(f"{BENCHMARK_NAME}/{workload.name}: no baseline — "
+                      f"bootstrapped at "
+                      f"{record.median_seconds * 1000:.2f}ms")
+                continue
+            print(f"{BENCHMARK_NAME}/{workload.name}: no baseline in "
+                  f"{args.ledger} (run `repro-perf record` or pass "
+                  f"--bootstrap-missing)", file=sys.stderr)
+            failed = True
+            continue
+        fresh = run_workload(workload, repeats=args.repeats,
+                             slowdown=args.slowdown, kind="check")
+        result = check_regression(baseline, fresh, k=args.k)
+        fresh.verdict = "regressed" if result.regressed else "ok"
+        to_append.append(fresh)
+        print(result.describe())
+        failed = failed or result.regressed
+    append_records(to_append, args.ledger)
+    return 1 if failed else 0
+
+
+def _cmd_list(args) -> int:
+    history = read_ledger(args.ledger)
+    if not history:
+        print(f"{args.ledger}: no records")
+        return 0
+    for record in history:
+        verdict = f" [{record.verdict}]" if record.verdict else ""
+        sha = record.git_sha or "-"
+        print(f"{record.kind:<8} {record.benchmark}/{record.label:<24} "
+              f"{record.median_seconds * 1000:>9.2f}ms  "
+              f"MAD {record.mad_seconds * 1000:>7.3f}ms  "
+              f"x{record.repeats}  {sha}{verdict}")
+    return 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-perf",
+        description="Performance-regression gate over the append-only "
+                    "run ledger (median + k*MAD, noise-aware).")
+    parser.add_argument("--ledger", default=default_ledger_path(),
+                        help="ledger path (default: $REPRO_PERF_LEDGER "
+                             "or ./PERF_LEDGER.jsonl)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--repeats", type=int, default=5,
+                       help="timed repeats per workload (default 5)")
+        p.add_argument("-w", "--workload",
+                       help="only workloads whose name contains this")
+
+    p_record = sub.add_parser(
+        "record", help="append fresh baseline records to the ledger")
+    common(p_record)
+    p_record.set_defaults(func=_cmd_record)
+
+    p_check = sub.add_parser(
+        "check", help="compare a fresh run against the ledger baselines")
+    common(p_check)
+    p_check.add_argument("--k", type=float, default=4.0,
+                         help="MAD multiplier for the gate (default 4)")
+    p_check.add_argument("--bootstrap-missing", action="store_true",
+                         help="record a baseline instead of failing "
+                              "when a workload has none")
+    p_check.add_argument("--slowdown", type=float, default=0.0,
+                         metavar="SECONDS",
+                         help="inject an artificial sleep per run "
+                              "(self-test that the gate trips)")
+    p_check.set_defaults(func=_cmd_check)
+
+    p_list = sub.add_parser("list", help="print the ledger records")
+    p_list.set_defaults(func=_cmd_list)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

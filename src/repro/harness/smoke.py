@@ -2,10 +2,14 @@
 
 ``repro-smoke`` (see ``[project.scripts]`` in pyproject.toml) runs the
 same marker set as ``scripts/check_all_smoke.sh``: the bench,
-observability, delta-evaluation, lint, stored-procedure and trace-diff
-guards, in one pytest invocation.  Pass ``--only
-bench|obs|delta|lint|procedures|tracediff`` to run a single guard, plus
-any extra pytest arguments after ``--``.
+observability, delta-evaluation, lint, stored-procedure, trace-diff and
+perf-gate guards, in one pytest invocation.  Pass ``--only
+bench|obs|delta|lint|procedures|tracediff|perf`` to run a single guard,
+plus any extra pytest arguments after ``--``.
+
+``_MARKERS`` is the source of truth for the guard list; a sync test
+(``tests/test_smoke_sync.py``) asserts ``scripts/check_all_smoke.sh``
+and the pyproject marker declarations agree with it.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ _MARKERS = {
     "lint": "lint_smoke",
     "procedures": "procedures_smoke",
     "tracediff": "tracediff_smoke",
+    "perf": "perf_smoke",
 }
 
 
@@ -35,7 +40,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-smoke",
         description="Run the tier-1 smoke guards (bench + obs + delta "
-                    "+ lint + procedures + tracediff).")
+                    "+ lint + procedures + tracediff + perf).")
     parser.add_argument("--only", choices=sorted(_MARKERS),
                         help="run a single guard instead of all of them")
     parser.add_argument("pytest_args", nargs="*",

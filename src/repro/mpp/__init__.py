@@ -23,7 +23,13 @@ from .exchange import (
     JoinStrategy,
     distributed_aggregate_sum,
     distributed_join,
+    exchange_span,
     plan_join,
+)
+from .workers import (
+    InlineSegmentExecutor,
+    ProcessSegmentExecutor,
+    run_segment_tasks,
 )
 
 __all__ = [
@@ -40,5 +46,9 @@ __all__ = [
     "JoinStrategy",
     "distributed_aggregate_sum",
     "distributed_join",
+    "exchange_span",
     "plan_join",
+    "InlineSegmentExecutor",
+    "ProcessSegmentExecutor",
+    "run_segment_tasks",
 ]

@@ -24,9 +24,15 @@ from .distribution import Distribution, DistributionKind
 
 
 @contextlib.contextmanager
-def _exchange_span(cluster: Cluster, tracer, operation: str, **attrs):
+def exchange_span(cluster: Cluster, tracer, operation: str, **attrs):
     """An ``exchange`` span whose motion counters are measured as the
-    delta of the cluster's bill across the wrapped work."""
+    delta of the cluster's bill across the wrapped work.
+
+    Public: every motion-charging section of the MPP layer (the join and
+    aggregate strategies here, the iterative driver's partial shuffle)
+    wraps itself in one of these so all exchanges look alike in traces —
+    one ``exchange`` span with ``operation`` plus measured
+    ``rows_moved``/``bytes_moved``/``shuffles``."""
     mark = (cluster.motion.rows_moved, cluster.motion.bytes_moved,
             cluster.motion.shuffles)
     with tracer.span("exchange", kind="exchange", operation=operation,
@@ -96,7 +102,7 @@ def distributed_join(cluster: Cluster, left: DistributedTable,
     """
     decision = plan_join(cluster, left, right, left_key, right_key)
     if tracer is not None and tracer.enabled:
-        with _exchange_span(cluster, tracer, "join",
+        with exchange_span(cluster, tracer, "join",
                             strategy=decision.strategy.value,
                             left=left.name, right=right.name):
             return _execute_join(cluster, left, right, left_key,
@@ -158,7 +164,7 @@ def distributed_aggregate_sum(cluster: Cluster, table: DistributedTable,
     by group key, final aggregate.  The classic MPP plan — the local phase
     shrinks the motion from |rows| to |groups| per segment."""
     if tracer is not None and tracer.enabled:
-        with _exchange_span(cluster, tracer, "two_phase_aggregate",
+        with exchange_span(cluster, tracer, "two_phase_aggregate",
                             table=table.name, group=group_column):
             return _execute_aggregate_sum(cluster, table, group_column,
                                           value_column)

@@ -26,6 +26,8 @@ from ..storage import Column, ColumnSchema, Schema, Table
 from ..types import SqlType
 from .cluster import Cluster, DistributedTable
 from .distribution import Distribution, hash_partition_indices, split_table
+from .exchange import exchange_span
+from .workers import run_segment_tasks
 
 DAMPING = 0.85
 BASE_DELTA = 0.15
@@ -66,7 +68,8 @@ def distributed_pagerank(cluster: Cluster,
                          edges: list[tuple[int, int, float]],
                          iterations: int = 10,
                          tracer=None,
-                         delta_shuffle: bool = False) -> \
+                         delta_shuffle: bool = False,
+                         executor=None) -> \
         DistributedPageRankResult:
     """PageRank over ``edges`` executed segment by segment.
 
@@ -76,14 +79,22 @@ def distributed_pagerank(cluster: Cluster,
     update rank/delta in place.
 
     ``tracer`` (a :class:`repro.obs.Tracer`) makes the loop emit one
-    span per iteration; per-iteration motion and convergence telemetry
-    is always collected on the returned result.
+    span per iteration, with one ``compute`` span (child ``segment``
+    spans per worker) per local phase and one ``exchange`` span for the
+    partial shuffle; per-iteration motion and convergence telemetry is
+    always collected on the returned result.
 
     ``delta_shuffle`` applies the semi-naive idea at the exchange layer:
     each origin segment remembers the last partial-contribution piece it
     sent to every destination segment and skips the motion when the
     piece is unchanged (the receiver reuses its copy).  Off by default
     so the motion bill matches the naive exchange.
+
+    ``executor`` runs the per-segment local phases: ``None`` (inline,
+    the simulated cluster) or a
+    :class:`repro.mpp.workers.ProcessSegmentExecutor` for real worker
+    processes.  Both go through the same task wrapper, so results and
+    trace shape are identical.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
     nodes = sorted({e[0] for e in edges} | {e[1] for e in edges})
@@ -122,37 +133,44 @@ def distributed_pagerank(cluster: Cluster,
         # Phase 1 (local): each segment joins its edges against the
         # co-located delta state (both hashed the same way, so the join
         # itself moves nothing) and emits (dst, delta * weight) partials.
-        partial_chunks: list[Table] = []
-        for edge_part, state_part in zip(distributed_edges.partitions,
-                                         state.partitions):
-            partial_chunks.append(_local_contributions(edge_part,
-                                                       state_part))
+        with tracer.span("compute", kind="compute",
+                         operation="contributions"):
+            partial_chunks: list[Table] = run_segment_tasks(
+                tracer, _local_contributions,
+                list(zip(distributed_edges.partitions, state.partitions)),
+                executor=executor)
 
         # Phase 2 (exchange): shuffle partials by destination so each
         # segment owns the contributions to its own nodes.
-        assignments = [
-            hash_partition_indices(chunk.column("dst"), cluster.segments)
-            for chunk in partial_chunks]
-        incoming: list[list[Table]] = [[] for _ in range(cluster.segments)]
-        for origin, (chunk, assignment) in enumerate(
-                zip(partial_chunks, assignments)):
-            pieces = split_table(chunk, assignment, cluster.segments)
-            for segment, piece in enumerate(pieces):
-                if piece.num_rows == 0:
-                    continue
-                incoming[segment].append(piece)
-                if segment != origin:
-                    if delta_shuffle and _piece_unchanged(
-                            sent_pieces, (origin, segment), piece):
+        with exchange_span(cluster, tracer, "shuffle_partials"):
+            assignments = [
+                hash_partition_indices(chunk.column("dst"),
+                                       cluster.segments)
+                for chunk in partial_chunks]
+            incoming: list[list[Table]] = [
+                [] for _ in range(cluster.segments)]
+            for origin, (chunk, assignment) in enumerate(
+                    zip(partial_chunks, assignments)):
+                pieces = split_table(chunk, assignment, cluster.segments)
+                for segment, piece in enumerate(pieces):
+                    if piece.num_rows == 0:
                         continue
-                    cluster.motion.rows_moved += piece.num_rows
-                    cluster.motion.bytes_moved += piece.nbytes()
-        cluster.motion.shuffles += 1
+                    incoming[segment].append(piece)
+                    if segment != origin:
+                        if delta_shuffle and _piece_unchanged(
+                                sent_pieces, (origin, segment), piece):
+                            continue
+                        cluster.motion.rows_moved += piece.num_rows
+                        cluster.motion.bytes_moved += piece.nbytes()
+            cluster.motion.shuffles += 1
 
         # Phase 3 (local): apply rank += delta; delta = 0.85 * Σ incoming.
-        new_partitions = []
-        for state_part, pieces in zip(state.partitions, incoming):
-            new_partitions.append(_apply_update(state_part, pieces))
+        with tracer.span("compute", kind="compute",
+                         operation="apply_update"):
+            new_partitions = run_segment_tasks(
+                tracer, _apply_update,
+                list(zip(state.partitions, incoming)),
+                executor=executor)
         # The pointer swap — the distribution-level rename (§VI-A).
         state = DistributedTable("pr_state", state.distribution,
                                  new_partitions)

@@ -1,0 +1,122 @@
+"""Segment task execution: inline or in real worker processes.
+
+The simulated cluster runs per-segment work in a plain loop; the
+process-backed executor runs the *same* task function in a
+``multiprocessing`` pool — the first step from simulated shared-nothing
+to actual shared-nothing.  Both paths go through one wrapper
+(:func:`_segment_task`) so they are indistinguishable above this module:
+same results, and — via :class:`repro.obs.TraceContext` — the same trace
+shape.
+
+Tracing across the process boundary works by capture/buffer/merge: the
+parent captures one ``TraceContext`` at the span where segment work
+belongs, each worker builds a :class:`~repro.obs.trace.ContextTracer`
+from it and buffers its spans locally, and the parent merges the
+exported spans back in segment order on join.  An untraced run ships no
+context and the workers skip span buffering entirely.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, Optional, Sequence
+
+from ..obs.trace import ContextTracer, TraceContext
+
+# payload = (fn, args, segment, context_dict | None)
+# outcome = (result, exported span dicts | None)
+
+
+def _segment_task(payload: tuple) -> tuple:
+    """Run one segment's work, tracing it when a context was shipped.
+
+    Module-level (and payload built from picklable pieces) so the same
+    callable crosses the ``multiprocessing`` boundary unchanged — the
+    inline executor calls it directly, which is what makes the two
+    executors trace-identical by construction."""
+    fn, args, segment, context_data = payload
+    if context_data is None:
+        return fn(*args), None
+    tracer = ContextTracer(TraceContext.from_dict(context_data))
+    with tracer.span("segment", kind="worker", segment=segment):
+        result = fn(*args)
+    return result, tracer.export_spans()
+
+
+class InlineSegmentExecutor:
+    """Runs segment tasks sequentially in the calling process (the
+    simulated-cluster default)."""
+
+    processes = 0
+
+    def run(self, payloads: Sequence[tuple]) -> list[tuple]:
+        return [_segment_task(payload) for payload in payloads]
+
+    def close(self) -> None:
+        pass
+
+
+class ProcessSegmentExecutor:
+    """Runs segment tasks in a ``multiprocessing`` pool.
+
+    Prefers ``fork`` (cheap, inherits the parent's modules) and falls
+    back to the platform default where fork is unavailable.  The pool is
+    created lazily on first use and reused across iterations — a
+    per-iteration pool would dominate the runtime of smoke-scale loops.
+    """
+
+    def __init__(self, processes: Optional[int] = None):
+        self.processes = processes or min(4, multiprocessing.cpu_count())
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            methods = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in methods else methods[0]
+            context = multiprocessing.get_context(method)
+            self._pool = context.Pool(self.processes)
+        return self._pool
+
+    def run(self, payloads: Sequence[tuple]) -> list[tuple]:
+        return self._ensure_pool().map(_segment_task, list(payloads))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ProcessSegmentExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def run_segment_tasks(tracer, fn: Callable,
+                      args_per_segment: Sequence[tuple],
+                      executor=None) -> list:
+    """Run ``fn(*args)`` once per segment through ``executor`` and
+    return the per-segment results in segment order.
+
+    When the run is traced, one :class:`TraceContext` is captured at the
+    caller's current span, shipped to every worker, and the buffered
+    worker spans are merged back under it in segment order — so the
+    merged trace looks the same whether the executor was inline or
+    process-backed."""
+    if executor is None:
+        executor = InlineSegmentExecutor()
+    context = tracer.context() if tracer.enabled else None
+    context_data = context.to_dict() if context is not None else None
+    payloads = [(fn, tuple(args), segment, context_data)
+                for segment, args in enumerate(args_per_segment)]
+    outcomes = executor.run(payloads)
+    results = []
+    exported: list[dict] = []
+    for result, spans in outcomes:
+        results.append(result)
+        if spans:
+            exported.extend(spans)
+    if context is not None and exported:
+        tracer.merge(context, exported)
+    return results

@@ -10,39 +10,83 @@ validated by :func:`validate_trace_dict`.
 
 from .export import (
     BENCH_SCHEMA_VERSION,
+    DECISION_EVENT_NAMES,
     TRACE_SCHEMA_VERSION,
     Trace,
     build_trace,
     validate_bench_dict,
     validate_trace_dict,
 )
+from .ledger import (
+    LEDGER_SCHEMA_VERSION,
+    CheckResult,
+    RunRecord,
+    append_records,
+    check_regression,
+    latest_baseline,
+    read_ledger,
+    record_from_samples,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profile import (
+    Profile,
+    aggregate_profile,
+    collapsed_stacks,
+    render_decision_timeline,
+    render_profile,
+)
 from .telemetry import (
     ITERATION_RECORD_KEYS,
     IterationRecord,
     LoopTelemetry,
     render_iteration_table,
 )
-from .trace import NULL_TRACER, NullTracer, Span, Tracer, render_span_tree
+from .trace import (
+    NULL_TRACER,
+    ContextTracer,
+    NullTracer,
+    Span,
+    TraceContext,
+    Tracer,
+    render_span_tree,
+    span_from_dict,
+)
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
+    "DECISION_EVENT_NAMES",
     "TRACE_SCHEMA_VERSION",
     "Trace",
     "build_trace",
     "validate_bench_dict",
     "validate_trace_dict",
+    "LEDGER_SCHEMA_VERSION",
+    "CheckResult",
+    "RunRecord",
+    "append_records",
+    "check_regression",
+    "latest_baseline",
+    "read_ledger",
+    "record_from_samples",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "Profile",
+    "aggregate_profile",
+    "collapsed_stacks",
+    "render_decision_timeline",
+    "render_profile",
     "ITERATION_RECORD_KEYS",
     "IterationRecord",
     "LoopTelemetry",
     "render_iteration_table",
     "NULL_TRACER",
+    "ContextTracer",
     "NullTracer",
     "Span",
+    "TraceContext",
     "Tracer",
     "render_span_tree",
+    "span_from_dict",
 ]

@@ -68,6 +68,29 @@ _LOOP_KEYS = frozenset(
 _LOOP_KINDS = frozenset(
     {"iterative", "fixpoint", "mpp", "middleware", "procedure"})
 
+# Structured event kinds (zero-duration spans) carry a documented
+# attribute contract on top of the open attribute map; the validator
+# enforces presence so downstream tooling (repro-profile's decision
+# timeline, the trace diff) can rely on the keys.  ``decision`` events
+# additionally have a closed name set — each name is one decision the
+# runtime can take, with its own required attributes.
+_EVENT_REQUIRED_ATTRS = {
+    "morsel": frozenset({"morsels", "rows", "workers", "parallel"}),
+}
+_DECISION_COMMON_ATTRS = frozenset({"loop_id", "reason"})
+_DECISION_EVENT_ATTRS = {
+    "strategy_selection": frozenset({"strategy"}),
+    "strategy_demotion": frozenset(
+        {"from_strategy", "to_strategy", "iteration", "frontier",
+         "total", "budget_frontier"}),
+    "strategy_promotion": frozenset(
+        {"from_strategy", "to_strategy", "iteration", "frontier",
+         "total", "budget_frontier"}),
+    "loop_estimate": frozenset(
+        {"cte", "estimated_iterations", "basis"}),
+}
+DECISION_EVENT_NAMES = frozenset(_DECISION_EVENT_ATTRS)
+
 
 @dataclass
 class Trace:
@@ -129,6 +152,19 @@ def _validate_span(span, path: str) -> None:
         if value is not None and not isinstance(value,
                                                 (bool, int, float, str)):
             _fail(f"{path}.attributes[{key!r}] is not a scalar")
+    required = _EVENT_REQUIRED_ATTRS.get(span["kind"])
+    if span["kind"] == "decision":
+        required = _DECISION_EVENT_ATTRS.get(span["name"])
+        if required is None:
+            _fail(f"{path} is a decision event with unknown name "
+                  f"{span['name']!r} (known: "
+                  f"{sorted(DECISION_EVENT_NAMES)})")
+        required = required | _DECISION_COMMON_ATTRS
+    if required is not None:
+        missing = required - set(span["attributes"])
+        if missing:
+            _fail(f"{path} ({span['kind']} event {span['name']!r}) is "
+                  f"missing required attributes {sorted(missing)}")
     if not isinstance(span["children"], list):
         _fail(f"{path}.children is not a list")
     for index, child in enumerate(span["children"]):

@@ -1,0 +1,311 @@
+"""The perf-regression ledger: an append-only JSONL history of runs.
+
+``BENCH_*.json`` artifacts are one-shot snapshots; the ledger is the
+trajectory.  Every benchmark that goes through
+:func:`repro.harness.write_bench_artifact` appends one :class:`RunRecord`
+per measurement, and the ``repro-perf`` gate (see
+:mod:`repro.harness.perfgate`) appends its own baseline/check records —
+so one growable JSONL file holds performance over time, attributable to
+a git sha and a host fingerprint.
+
+Records are self-describing JSON objects, one per line, with a
+``schema_version``; unknown versions are skipped on read (forward
+compatibility), malformed lines raise.  The regression test is
+noise-aware: a fresh run regresses only when its median exceeds the
+baseline median by more than ``k`` median-absolute-deviations (with a
+relative floor, so a zero-MAD baseline from quantized timers does not
+make the gate hair-triggered).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import statistics
+import subprocess
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+LEDGER_SCHEMA_VERSION = 1
+DEFAULT_LEDGER_NAME = "PERF_LEDGER.jsonl"
+
+# Record kinds: how the record entered the ledger.
+#   bench     appended by write_bench_artifact alongside a BENCH_*.json
+#   baseline  recorded explicitly by `repro-perf record` (gate reference)
+#   check     one `repro-perf check` run, with its verdict
+RECORD_KINDS = ("bench", "baseline", "check")
+
+
+def mad(samples: Iterable[float]) -> float:
+    """Median absolute deviation — the robust spread estimator the gate
+    thresholds on (stdev would let one outlier widen the gate)."""
+    values = list(samples)
+    if len(values) < 2:
+        return 0.0
+    center = statistics.median(values)
+    return statistics.median(abs(value - center) for value in values)
+
+
+def host_fingerprint() -> dict:
+    """Stable identity of the measuring host: medians are only
+    comparable within one fingerprint."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count() or 1,
+    }
+
+
+def git_sha(cwd: Optional[str] = None) -> Optional[str]:
+    """The current commit (short), or None outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            capture_output=True, text=True, timeout=5, cwd=cwd)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+def options_hash(options: Optional[dict]) -> str:
+    """Deterministic short hash of the option/parameter mapping that
+    shaped a run — two records compare only when these match."""
+    canonical = json.dumps(options or {}, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass
+class RunRecord:
+    """One timed run of one workload, as it lands in the ledger."""
+
+    benchmark: str
+    label: str
+    median_seconds: float
+    mad_seconds: float
+    repeats: int
+    all_seconds: list[float]
+    options_hash: str
+    host: dict
+    git_sha: Optional[str]
+    created_unix: float
+    kind: str = "bench"
+    verdict: Optional[str] = None  # "ok" | "regressed" for checks
+    schema_version: int = LEDGER_SCHEMA_VERSION
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "kind": self.kind,
+            "benchmark": self.benchmark,
+            "label": self.label,
+            "median_seconds": self.median_seconds,
+            "mad_seconds": self.mad_seconds,
+            "repeats": self.repeats,
+            "all_seconds": list(self.all_seconds),
+            "options_hash": self.options_hash,
+            "host": dict(self.host),
+            "git_sha": self.git_sha,
+            "created_unix": self.created_unix,
+            "verdict": self.verdict,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunRecord":
+        return cls(
+            benchmark=data["benchmark"],
+            label=data["label"],
+            median_seconds=float(data["median_seconds"]),
+            mad_seconds=float(data["mad_seconds"]),
+            repeats=int(data["repeats"]),
+            all_seconds=[float(s) for s in data["all_seconds"]],
+            options_hash=data["options_hash"],
+            host=dict(data["host"]),
+            git_sha=data.get("git_sha"),
+            created_unix=float(data["created_unix"]),
+            kind=data.get("kind", "bench"),
+            verdict=data.get("verdict"),
+            schema_version=int(data["schema_version"]),
+        )
+
+
+_RECORD_KEYS = frozenset(RunRecord(
+    "", "", 0.0, 0.0, 0, [], "", {}, None, 0.0).to_dict())
+
+
+def validate_record_dict(data: dict) -> None:
+    """Raise ``ValueError`` unless ``data`` is a well-formed record."""
+    if not isinstance(data, dict):
+        raise ValueError("ledger record is not an object")
+    if set(data) != _RECORD_KEYS:
+        raise ValueError(
+            f"ledger record keys {sorted(data)} != "
+            f"{sorted(_RECORD_KEYS)}")
+    if data["kind"] not in RECORD_KINDS:
+        raise ValueError(f"ledger record kind {data['kind']!r} not in "
+                         f"{RECORD_KINDS}")
+    for key in ("median_seconds", "mad_seconds", "created_unix"):
+        if not isinstance(data[key], (int, float)):
+            raise ValueError(f"ledger record {key} is not a number")
+    if not isinstance(data["all_seconds"], list):
+        raise ValueError("ledger record all_seconds is not a list")
+    if not isinstance(data["host"], dict):
+        raise ValueError("ledger record host is not an object")
+
+
+def record_from_samples(benchmark: str, label: str,
+                        samples: Iterable[float],
+                        options: Optional[dict] = None,
+                        kind: str = "bench",
+                        host: Optional[dict] = None,
+                        sha: Optional[str] = None) -> RunRecord:
+    """Build a record from raw timing samples (seconds)."""
+    values = [float(s) for s in samples]
+    return RunRecord(
+        benchmark=benchmark,
+        label=label,
+        median_seconds=statistics.median(values) if values else 0.0,
+        mad_seconds=mad(values),
+        repeats=len(values),
+        all_seconds=values,
+        options_hash=options_hash(options),
+        host=host if host is not None else host_fingerprint(),
+        git_sha=sha if sha is not None else git_sha(),
+        created_unix=time.time(),
+        kind=kind,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ledger I/O
+# ---------------------------------------------------------------------------
+
+
+def append_records(records: Iterable[RunRecord], path: str) -> int:
+    """Append records to the JSONL ledger (created on first write);
+    returns how many were written."""
+    count = 0
+    with open(path, "a", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record.to_dict(),
+                                    sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def read_ledger(path: str) -> list[RunRecord]:
+    """All readable records in append order.  Records from other schema
+    versions are skipped (the ledger outlives any one schema); malformed
+    lines raise — an append-only file should never contain them."""
+    if not os.path.exists(path):
+        return []
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{number}: malformed ledger line") from exc
+            if data.get("schema_version") != LEDGER_SCHEMA_VERSION:
+                continue
+            records.append(RunRecord.from_dict(data))
+    return records
+
+
+def latest_baseline(records: Iterable[RunRecord], benchmark: str,
+                    label: str, options: Optional[str] = None,
+                    host: Optional[dict] = None,
+                    kinds: tuple[str, ...] = ("baseline",)
+                    ) -> Optional[RunRecord]:
+    """The most recent record matching workload identity.
+
+    ``options`` is an options hash; ``host`` a fingerprint dict —
+    pass None to skip either dimension of the match (e.g. cross-host
+    comparison, explicitly requested)."""
+    found = None
+    for record in records:
+        if record.kind not in kinds:
+            continue
+        if record.benchmark != benchmark or record.label != label:
+            continue
+        if options is not None and record.options_hash != options:
+            continue
+        if host is not None and record.host != host:
+            continue
+        found = record
+    return found
+
+
+# ---------------------------------------------------------------------------
+# Regression check
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CheckResult:
+    """Verdict of one fresh-vs-baseline comparison."""
+
+    benchmark: str
+    label: str
+    baseline_median: float
+    fresh_median: float
+    threshold: float
+    regressed: bool
+    k: float
+    spread: float = 0.0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline_median <= 0:
+            return float("inf") if self.fresh_median > 0 else 1.0
+        return self.fresh_median / self.baseline_median
+
+    def describe(self) -> str:
+        verdict = "REGRESSED" if self.regressed else "ok"
+        line = (f"{self.benchmark}/{self.label}: {verdict} — baseline "
+                f"{self.baseline_median * 1000:.2f}ms, fresh "
+                f"{self.fresh_median * 1000:.2f}ms ({self.ratio:.2f}x), "
+                f"gate at {self.threshold * 1000:.2f}ms "
+                f"(median + {self.k:g}*MAD, MAD="
+                f"{self.spread * 1000:.3f}ms)")
+        for note in self.notes:
+            line += f"\n  note: {note}"
+        return line
+
+
+def check_regression(baseline: RunRecord, fresh: RunRecord,
+                     k: float = 4.0,
+                     min_rel_spread: float = 0.05) -> CheckResult:
+    """Noise-aware regression verdict: fresh regresses iff its median
+    exceeds ``baseline.median + k * spread`` where ``spread`` is the
+    baseline MAD floored at ``min_rel_spread`` of the median (a
+    perfectly quiet baseline still tolerates small noise)."""
+    spread = max(baseline.mad_seconds,
+                 min_rel_spread * baseline.median_seconds)
+    threshold = baseline.median_seconds + k * spread
+    result = CheckResult(
+        benchmark=fresh.benchmark,
+        label=fresh.label,
+        baseline_median=baseline.median_seconds,
+        fresh_median=fresh.median_seconds,
+        threshold=threshold,
+        regressed=fresh.median_seconds > threshold,
+        k=k,
+        spread=spread,
+    )
+    if baseline.host != fresh.host:
+        result.notes.append(
+            "host fingerprints differ — medians may not be comparable")
+    if baseline.options_hash != fresh.options_hash:
+        result.notes.append("options hashes differ")
+    return result

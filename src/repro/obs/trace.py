@@ -22,7 +22,9 @@ the stable JSON projection lives in :mod:`repro.obs.export`.
 from __future__ import annotations
 
 import time
+import uuid
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 
@@ -83,6 +85,56 @@ class Span:
                 f"children={len(self.children)})")
 
 
+def span_from_dict(data: dict) -> Span:
+    """Rebuild a (closed) :class:`Span` tree from its ``to_dict`` form.
+
+    The inverse of :meth:`Span.to_dict` for *finished* spans: ``seconds``
+    is restored as recorded and ``started`` is meaningless afterwards —
+    wall-clock anchors do not survive serialization (and are not
+    comparable across processes anyway)."""
+    span = Span(data["name"], data["kind"], data.get("attributes"))
+    span.seconds = float(data.get("seconds", 0.0))
+    span.children = [span_from_dict(child)
+                     for child in data.get("children", ())]
+    return span
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """A serializable handle onto one open span of a parent trace.
+
+    Child workers (threads today, ``multiprocessing`` workers for the
+    real shared-nothing executor) cannot share a :class:`Tracer`: spans
+    are mutable and the open-span stack is single-owner.  Instead the
+    parent captures a ``TraceContext`` at the point in the tree where
+    the child's work belongs, ships it across the process boundary
+    (it is a frozen dataclass of scalars — picklable and JSON-safe),
+    and the child builds a :class:`ContextTracer` from it.  The child's
+    spans buffer locally; on join the parent grafts them back with
+    :meth:`Tracer.merge`, so the merged trace is shaped exactly as if
+    the work had run inline.
+
+    ``path`` (root → capture point span names) re-anchors the merge when
+    the capturing tracer object is gone — e.g. a coordinator process
+    that itself reports to a remote parent.
+    """
+
+    trace_id: str
+    context_id: int
+    path: tuple[str, ...]
+
+    def to_dict(self) -> dict:
+        return {"trace_id": self.trace_id,
+                "context_id": self.context_id,
+                "path": list(self.path)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceContext":
+        return cls(trace_id=data["trace_id"],
+                   context_id=int(data["context_id"]),
+                   path=tuple(data["path"]))
+
+
 class Tracer:
     """Builds one span tree via an explicit open-span stack.
 
@@ -95,9 +147,14 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, name: str = "trace"):
+    def __init__(self, name: str = "trace",
+                 trace_id: Optional[str] = None):
         self.root = Span(name, "root")
+        self.trace_id = trace_id or uuid.uuid4().hex[:16]
         self._stack: list[Span] = [self.root]
+        # Spans pinned by context() so merge() can graft worker spans
+        # onto the exact capture point even after the span has closed.
+        self._context_spans: dict[int, Span] = {}
 
     @property
     def current(self) -> Span:
@@ -141,6 +198,53 @@ class Tracer:
         self._stack = [self.root]
         return self.root
 
+    # -- process-safe contexts ----------------------------------------------
+
+    def context(self) -> TraceContext:
+        """Capture the current span as a serializable merge target.
+
+        The returned :class:`TraceContext` can cross a process boundary;
+        the capture span itself is pinned locally so :meth:`merge` grafts
+        exported worker spans under it later, open or closed."""
+        context_id = len(self._context_spans)
+        self._context_spans[context_id] = self.current
+        path = tuple(span.name for span in self._stack)
+        return TraceContext(self.trace_id, context_id, path)
+
+    def merge(self, context: TraceContext,
+              spans: Iterable[dict]) -> None:
+        """Graft serialized worker spans under ``context``'s capture span.
+
+        ``spans`` is what :meth:`ContextTracer.export_spans` returned on
+        the worker side.  A context from another trace id is rejected —
+        merging foreign spans would silently corrupt attribution.  If the
+        capture span is unknown (a context re-created from its dict in a
+        different process), the span ``path`` re-anchors the merge, falling
+        back to the root."""
+        if context.trace_id != self.trace_id:
+            raise ValueError(
+                f"cannot merge context of trace {context.trace_id!r} "
+                f"into trace {self.trace_id!r}")
+        anchor = self._context_spans.get(context.context_id)
+        if anchor is None:
+            anchor = self._span_at_path(context.path)
+        for data in spans:
+            anchor.children.append(span_from_dict(data))
+
+    def _span_at_path(self, path: tuple[str, ...]) -> Span:
+        """The first span matching a root→target name path (the merge
+        fallback when the capture span object is unavailable)."""
+        if not path or path[0] != self.root.name:
+            return self.root
+        cursor = self.root
+        for name in path[1:]:
+            child = next((c for c in cursor.children if c.name == name),
+                         None)
+            if child is None:
+                return cursor
+            cursor = child
+        return cursor
+
 
 class _NullSpan:
     """Inert span: accepts every operation, records nothing.  Doubles as
@@ -167,11 +271,33 @@ class _NullSpan:
 _NULL_SPAN = _NullSpan()
 
 
+class ContextTracer(Tracer):
+    """The worker-side tracer built from a serialized
+    :class:`TraceContext`.
+
+    Spans buffer under a synthetic local root; :meth:`export_spans`
+    closes them and returns their serialized forms for the parent to
+    :meth:`Tracer.merge`.  Identical API to :class:`Tracer`, so worker
+    code is oblivious to which side of the process boundary it runs on.
+    """
+
+    def __init__(self, context: TraceContext):
+        super().__init__(f"worker:{context.trace_id}",
+                         trace_id=context.trace_id)
+        self.context = context
+
+    def export_spans(self) -> list[dict]:
+        """Close all buffered spans and serialize them for the merge."""
+        self.finish()
+        return [child.to_dict() for child in self.root.children]
+
+
 class NullTracer:
     """The disabled tracer: every method is a no-op (see module doc)."""
 
     enabled = False
     root = None
+    trace_id = ""
 
     def span(self, name: str, kind: str = "span", **attributes):
         return _NULL_SPAN
@@ -187,6 +313,13 @@ class NullTracer:
 
     def finish(self):
         return None
+
+    def context(self) -> None:
+        """No context: workers of an untraced run skip span buffering."""
+        return None
+
+    def merge(self, context, spans) -> None:
+        pass
 
 
 NULL_TRACER = NullTracer()

@@ -155,6 +155,7 @@ class ProgramRunner:
                 lines.append(f"     loop {spec.annotation()}")
         lines.extend(self._cache_report())
         lines.extend(self._strategy_report())
+        lines.extend(self._decision_report())
         loop_telemetry = self.loop_telemetry
         for loop_id in sorted(loop_telemetry):
             lines.extend(render_iteration_table(loop_telemetry[loop_id]))
@@ -197,6 +198,24 @@ class ProgramRunner:
             if events:
                 line += f" ({'; '.join(events)})"
             lines.append(line)
+        return lines
+
+    def _decision_report(self) -> list[str]:
+        """The run's strategy decisions in the order they were taken —
+        the text twin of the trace's decision events."""
+        engine = self.engine
+        if not engine.selections:
+            return []
+        lines = ["decision timeline:"]
+        for loop_id in sorted(engine.selections):
+            spec = self._program.loops.get(loop_id)
+            cte = spec.cte_name if spec is not None else str(loop_id)
+            name, reason = engine.selections[loop_id]
+            lines.append(f"  loop {cte}: selected {name} — {reason}")
+            for record in (engine.demotions.get(loop_id),
+                           engine.promotions.get(loop_id)):
+                if record is not None:
+                    lines.append(f"  loop {cte}: {record.describe()}")
         return lines
 
     def loop_iteration_counts(self) -> dict[str, int]:

@@ -146,6 +146,9 @@ class LoopEngine:
         self.delta_runtimes: dict[int, DeltaLoopRuntime] = {}
         self.demotions: dict[int, DemotionRecord] = {}
         self.promotions: dict[int, PromotionRecord] = {}
+        # (strategy name, selection reason) per loop, for the decision
+        # timeline in EXPLAIN ANALYZE.
+        self.selections: dict[int, tuple[str, str]] = {}
         self._runs: dict[int, LoopRun] = {}
 
     def begin_run(self) -> None:
@@ -155,6 +158,7 @@ class LoopEngine:
         self.delta_runtimes = {}
         self.demotions = {}
         self.promotions = {}
+        self.selections = {}
         self._runs = {}
 
     # -- loop control --------------------------------------------------------
@@ -167,8 +171,14 @@ class LoopEngine:
             if runtime is None:
                 runtime = DeltaLoopRuntime(spec.delta)
                 self.delta_runtimes[spec.loop_id] = runtime
-        self.strategies[spec.loop_id] = choose_strategy(
-            spec, self._ctx.options, runtime)
+        strategy = choose_strategy(spec, self._ctx.options, runtime)
+        self.strategies[spec.loop_id] = strategy
+        self.selections[spec.loop_id] = (strategy.name, strategy.reason)
+        tracer = self._ctx.tracer
+        if tracer.enabled:
+            tracer.event("strategy_selection", kind="decision",
+                         loop_id=spec.loop_id, strategy=strategy.name,
+                         reason=strategy.reason)
 
     def state(self, loop_id: int) -> LoopState:
         state = self.states.get(loop_id)
@@ -218,7 +228,8 @@ class LoopEngine:
 
     def record_demotion(self, loop_id: int, from_strategy: LoopStrategy,
                         to_strategy: LoopStrategy, frontier: int,
-                        total: int) -> None:
+                        total: int, budget_frontier: int = 0,
+                        reason: str = "") -> None:
         state = self.states.get(loop_id)
         record = DemotionRecord(
             iteration=(state.iterations + 1) if state is not None else 0,
@@ -228,12 +239,14 @@ class LoopEngine:
         self._ctx.stats.strategy_demotions += 1
         tracer = self._ctx.tracer
         if tracer.enabled:
-            tracer.event("strategy_demotion", kind="strategy",
+            tracer.event("strategy_demotion", kind="decision",
                          loop_id=loop_id,
                          from_strategy=record.from_name,
                          to_strategy=record.to_name,
                          iteration=record.iteration,
-                         frontier=frontier, total=total)
+                         frontier=frontier, total=total,
+                         budget_frontier=budget_frontier,
+                         reason=reason)
         run = self._runs.get(loop_id)
         if run is not None:
             run.telemetry.strategy = (f"{record.from_name}->"
@@ -241,7 +254,8 @@ class LoopEngine:
 
     def record_promotion(self, loop_id: int, from_strategy: LoopStrategy,
                          to_strategy: LoopStrategy, frontier: int,
-                         total: int) -> None:
+                         total: int, budget_frontier: int = 0,
+                         reason: str = "") -> None:
         state = self.states.get(loop_id)
         record = PromotionRecord(
             iteration=(state.iterations + 1) if state is not None else 0,
@@ -251,12 +265,14 @@ class LoopEngine:
         self._ctx.stats.strategy_promotions += 1
         tracer = self._ctx.tracer
         if tracer.enabled:
-            tracer.event("strategy_promotion", kind="strategy",
+            tracer.event("strategy_promotion", kind="decision",
                          loop_id=loop_id,
                          from_strategy=record.from_name,
                          to_strategy=record.to_name,
                          iteration=record.iteration,
-                         frontier=frontier, total=total)
+                         frontier=frontier, total=total,
+                         budget_frontier=budget_frontier,
+                         reason=reason)
         run = self._runs.get(loop_id)
         if run is not None:
             # Append to the demotion chain so the telemetry reads e.g.

@@ -38,6 +38,9 @@ class LoopStrategy:
     """How the iterations of one loop move data between trips."""
 
     name = "abstract"
+    # Why this strategy owns the loop — set by choose_strategy() at
+    # selection and surfaced as a strategy_selection decision event.
+    reason = ""
 
     def __init__(self, spec: LoopSpec):
         self.spec = spec
@@ -159,8 +162,14 @@ class SemiNaiveDelta(LoopStrategy):
                 else FullRecompute(self.spec))
         fallback = MovementFallback(self.spec, self._options,
                                     self.runtime, base)
-        engine.record_demotion(self.spec.loop_id, self, fallback,
-                               frontier, total)
+        engine.record_demotion(
+            self.spec.loop_id, self, fallback, frontier, total,
+            budget_frontier=int(self._threshold * total),
+            reason=(f"measured frontier covered >= "
+                    f"{self._threshold:.0%} of the table for "
+                    f"{self._patience} consecutive iteration(s); delta "
+                    f"bookkeeping costs more than the recomputation it "
+                    f"saves"))
         return fallback
 
 
@@ -206,8 +215,13 @@ class MovementFallback(LoopStrategy):
         self.runtime.active = False
         self.runtime.demoted = False
         promoted = SemiNaiveDelta(self.spec, self._options, self.runtime)
-        engine.record_promotion(self.spec.loop_id, self, promoted,
-                                frontier, total)
+        engine.record_promotion(
+            self.spec.loop_id, self, promoted, frontier, total,
+            budget_frontier=int(self._threshold * total),
+            reason=(f"measured frontier stayed < "
+                    f"{self._threshold:.0%} of the table for "
+                    f"{self._patience} consecutive iteration(s); the "
+                    f"delta path is profitable again"))
         return promoted
 
 
@@ -218,14 +232,29 @@ def choose_strategy(spec: LoopSpec, options,
     This mirrors what the compiler emitted: delta steps exist exactly when
     ``spec.delta`` is set, and the full body moves data by rename or copy
     according to ``spec.movement``.
+
+    The returned strategy carries a ``reason`` string explaining the
+    pick; the loop engine publishes it as a ``strategy_selection``
+    decision event.
     """
     if spec.until_empty is not None:
-        return FixpointIncremental(spec)
-    if spec.delta is not None and runtime is not None:
-        return SemiNaiveDelta(spec, options, runtime)
-    if spec.movement == "rename":
-        return RenameInPlace(spec)
-    return FullRecompute(spec)
+        strategy = FixpointIncremental(spec)
+        strategy.reason = ("recursive UNTIL-empty loop: the working "
+                           "table is its own frontier")
+    elif spec.delta is not None and runtime is not None:
+        strategy = SemiNaiveDelta(spec, options, runtime)
+        strategy.reason = ("delta-safety analysis proved per-key "
+                           "evolution; frontier-driven recomputation is "
+                           "statically cheapest")
+    elif spec.movement == "rename":
+        strategy = RenameInPlace(spec)
+        strategy.reason = ("full refresh with rename enabled: pointer "
+                           "swap replaces the copy-back")
+    else:
+        strategy = FullRecompute(spec)
+        strategy.reason = ("no provable delta path and rename "
+                           "unavailable: copy-back baseline")
+    return strategy
 
 
 @dataclass

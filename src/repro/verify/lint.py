@@ -39,12 +39,15 @@ from typing import Iterable, Optional
 _PACKAGE_ROOT = Path(__file__).resolve().parents[1]  # src/repro
 
 # Modules allowed to construct Tracer objects: the obs subsystem itself
-# plus the statement entry points that decide whether a run is traced.
+# plus the statement entry points that decide whether a run is traced —
+# including the worker-process entry point, where a ContextTracer is the
+# only way spans can exist at all.
 _TRACER_BUILDERS = (
     "obs/",
     "engine/database.py",
     "middleware/driver.py",
     "procedures/runner.py",
+    "mpp/workers.py",
 )
 
 # The compat shims re-export the deprecated names on purpose.
