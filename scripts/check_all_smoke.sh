@@ -11,6 +11,7 @@
 #   procedures tests/test_procedures_smoke.py stored-procedure baseline
 #   tracediff  scripts/check_trace_diff.sh    native vs baseline diff
 #   perf       scripts/check_perf_gate.sh     perf ledger + regression gate
+#   mpp        scripts/check_mpp_smoke.sh     2-worker shared-nothing parity
 #
 # Usage: scripts/check_all_smoke.sh [extra pytest args...]
 set -euo pipefail
@@ -48,6 +49,7 @@ run_pytest_guard tracediff tracediff_smoke "$@"
 run_guard trace-diff-cli scripts/check_trace_diff.sh
 run_pytest_guard perf perf_smoke "$@"
 run_guard perf-gate-cli scripts/check_perf_gate.sh
+run_pytest_guard mpp mpp_smoke "$@"
 
 if [ -n "$failed" ]; then
     echo "smoke: FAILED guards:$failed" >&2

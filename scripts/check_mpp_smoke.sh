@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Tier-1 MPP smoke: spawn 2 real shared-nothing workers, run a short
+# distributed PageRank, and demand exact (bit-identical) parity with
+# the inline simulation — results, motion counters, no orphan
+# processes.  Fast (< 10s) and safe on single-CPU runners: the pool
+# uses fork and the graph is smoke-scale.
+#
+# Usage: scripts/check_mpp_smoke.sh [extra pytest args...]
+set -eu
+
+cd "$(dirname "$0")/.."
+PYTHONPATH=src exec python -m pytest -m mpp_smoke -q "$@"

@@ -94,3 +94,29 @@ class IterationLimitError(ExecutionError):
 
 class TransactionError(ReproError):
     """Lock conflicts or invalid transaction state."""
+
+
+class MppWorkerError(ExecutionError):
+    """A distributed worker died or stalled mid-superstep.
+
+    Attributes the failure to the cluster segment, the superstep index,
+    and the operation phase that was in flight, so a crash in a
+    16-worker fleet reads as a single actionable line rather than a
+    pile of pipe tracebacks.
+    """
+
+    def __init__(self, message: str, *, segment: int | None = None,
+                 superstep: int | None = None,
+                 operation: str | None = None):
+        parts = []
+        if segment is not None:
+            parts.append(f"segment {segment}")
+        if superstep is not None:
+            parts.append(f"superstep {superstep}")
+        if operation is not None:
+            parts.append(f"during {operation!r}")
+        suffix = f" ({', '.join(parts)})" if parts else ""
+        super().__init__(f"{message}{suffix}")
+        self.segment = segment
+        self.superstep = superstep
+        self.operation = operation

@@ -82,6 +82,9 @@ class ExecutionStats:
     morsel_batches: int = 0
     morsel_parallel_batches: int = 0
     morsel_rows: int = 0
+    # Per-morsel partials produced by the two-phase grouped-aggregate
+    # kernels (COUNT/SUM/AVG/MIN/MAX partial → final merge).
+    morsel_agg_batches: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return dict(self.__dict__)

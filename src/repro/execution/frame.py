@@ -5,10 +5,18 @@ ordered set of columns labelled with :class:`~repro.plan.logical.Field`
 descriptors.  Resolution of column references against a frame uses exactly
 the same rules as bind-time resolution (see :mod:`repro.plan.binding`), so
 anything the builder accepted will resolve at run time.
+
+This module also owns the typed columnar **wire format**
+(:func:`table_to_wire` / :func:`table_from_wire`) used by the MPP
+exchange operators: a batch decomposes into a small picklable header
+plus one raw ndarray block per column buffer (data and validity mask),
+so the transport can ship the blocks however it likes — inline over a
+pipe, or zero-copy through shared memory — without re-serializing.
 """
 
 from __future__ import annotations
 
+import pickle
 from typing import Sequence
 
 import numpy as np
@@ -18,6 +26,7 @@ from ..plan.binding import resolve_column
 from ..plan.logical import Field
 from ..sql import ast
 from ..storage import Column, ColumnSchema, Schema, Table
+from ..types import SqlType
 
 
 class Frame:
@@ -133,3 +142,58 @@ class Frame:
         columns += [c.take(right_idx) for c in other.columns]
         fields = (*self.fields, *other.fields)
         return Frame(fields, columns, len(left_idx))
+
+
+# ---------------------------------------------------------------------------
+# Columnar wire format (MPP exchange batches)
+# ---------------------------------------------------------------------------
+#
+# A wire batch is ``(meta, blocks)``: ``meta`` is a tiny plain dict
+# (column names/types, row count, per-column encoding) and ``blocks`` is
+# a flat list of buffers — for a fixed-width column its data ndarray
+# followed by its mask ndarray; for a TEXT (object-dtype) column a
+# pickled bytes payload followed by the mask ndarray.  Keeping the
+# buffers out of the header lets the transport choose per block between
+# inline pickling (small) and a shared-memory handle (large) without
+# this layer knowing.
+
+_WIRE_NDARRAY = "ndarray"
+_WIRE_PICKLE = "pickle"
+
+
+def table_to_wire(table: Table) -> tuple[dict, list]:
+    """Decompose a table into a picklable header and raw buffer blocks."""
+    meta = {
+        "names": [c.name for c in table.schema.columns],
+        "types": [c.sql_type.name for c in table.schema.columns],
+        "num_rows": table.num_rows,
+        "encodings": [],
+    }
+    blocks: list = []
+    for column in table.columns:
+        if column.data.dtype == object:
+            meta["encodings"].append(_WIRE_PICKLE)
+            blocks.append(pickle.dumps(column.data,
+                                       protocol=pickle.HIGHEST_PROTOCOL))
+        else:
+            meta["encodings"].append(_WIRE_NDARRAY)
+            blocks.append(np.ascontiguousarray(column.data))
+        blocks.append(np.ascontiguousarray(column.mask))
+    return meta, blocks
+
+
+def table_from_wire(meta: dict, blocks: list) -> Table:
+    """Rebuild a table from its wire decomposition."""
+    schema = Schema(tuple(
+        ColumnSchema(name, SqlType[type_name])
+        for name, type_name in zip(meta["names"], meta["types"])))
+    columns = []
+    for i, encoding in enumerate(meta["encodings"]):
+        data, mask = blocks[2 * i], blocks[2 * i + 1]
+        if encoding == _WIRE_PICKLE:
+            data = pickle.loads(data)
+        elif encoding != _WIRE_NDARRAY:
+            raise ExecutionError(f"unknown wire encoding {encoding!r}")
+        columns.append(Column.from_numpy(
+            schema.columns[i].sql_type, data, mask))
+    return Table(schema, columns)

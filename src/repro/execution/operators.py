@@ -484,7 +484,7 @@ def _execute_aggregate(op: LogicalAggregate, ctx: ExecutionContext) -> Frame:
         n_groups = 1
         key_slots = []
 
-    agg_slots = [compute_aggregate(spec.call, child, gids, n_groups)
+    agg_slots = [compute_aggregate(spec.call, child, gids, n_groups, ctx)
                  for spec in op.aggregates]
 
     internal_fields = internal_aggregate_fields(op, op.child.fields)

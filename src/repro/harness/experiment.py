@@ -57,24 +57,39 @@ def time_query(db: Database, sql: str, repeats: int = 3,
 
 def time_fresh(label: str, setup: Callable[[], object],
                run: Callable[[object], object],
-               repeats: int = 3, warmup: int = 1) -> Measurement:
+               repeats: int = 3, warmup: int = 1,
+               teardown: Optional[Callable[[object], None]] = None
+               ) -> Measurement:
     """Median-of-repeats timing where every sample runs against freshly
     built state: ``setup()`` constructs the state *outside* the timed
-    window, ``run(state)`` is what gets timed.
+    window, ``run(state)`` is what gets timed, and ``teardown(state)``
+    (also untimed) releases resources the state holds — worker pools,
+    open files — before the next sample builds its own.
 
     Use this when the subject under measurement is cold-state execution
     (loop strategies, caches that warm inside one query) —
     :func:`time_callable` against a reused database would time warm
     state from the second sample on, while a single cold run records
     no spread at all."""
+    def finish(state) -> None:
+        if teardown is not None:
+            teardown(state)
+
     for _ in range(warmup):
-        run(setup())
+        state = setup()
+        try:
+            run(state)
+        finally:
+            finish(state)
     samples = []
     for _ in range(repeats):
         state = setup()
-        start = time.perf_counter()
-        run(state)
-        samples.append(time.perf_counter() - start)
+        try:
+            start = time.perf_counter()
+            run(state)
+            samples.append(time.perf_counter() - start)
+        finally:
+            finish(state)
     return Measurement(label, statistics.median(samples), repeats, samples)
 
 

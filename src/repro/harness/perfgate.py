@@ -59,18 +59,48 @@ WITH ITERATIVE r (node, v) AS (
 
 @dataclass(frozen=True)
 class Workload:
-    """One gated workload: graph + session options + query."""
+    """One gated workload.
+
+    Two shapes share the record/check machinery: SQL workloads supply
+    ``sql_factory`` (timed as ``db.execute(sql)`` against a fresh graph
+    database), and harness workloads supply ``setup``/``run`` (and
+    optionally ``teardown``) callables for subjects that are not a
+    single query — e.g. the distributed loop against a live worker
+    pool.  ``options`` keys the ledger baseline either way.
+    """
 
     name: str
     nodes: int
     seed: int
     options: dict
-    sql_factory: Callable[[], str]
+    sql_factory: Optional[Callable[[], str]] = None
+    setup: Optional[Callable[[], object]] = None
+    run: Optional[Callable[[object], None]] = None
+    teardown: Optional[Callable[[object], None]] = None
 
     def build(self) -> Database:
         db = Database(SessionOptions(**self.options))
         load_graph(db, dblp_like(nodes=self.nodes, seed=self.seed))
         return db
+
+
+def _mpp_setup() -> tuple:
+    # Imported lazily so the SQL-only gate paths never touch the MPP
+    # package (and its multiprocessing machinery).
+    from ..datasets import generate_edges
+    from ..mpp import Cluster, WorkerPool
+    edges = generate_edges(dblp_like(nodes=200, seed=19))
+    return Cluster(2), WorkerPool(2), edges
+
+
+def _mpp_run(state: tuple) -> None:
+    from ..mpp import distributed_pagerank
+    cluster, pool, edges = state
+    distributed_pagerank(cluster, edges, iterations=5, pool=pool)
+
+
+def _mpp_teardown(state: tuple) -> None:
+    state[1].shutdown()
 
 
 WORKLOADS = {
@@ -84,6 +114,14 @@ WORKLOADS = {
         Workload("reach_fixpoint", nodes=200, seed=3,
                  options={"enable_delta_iteration": True},
                  sql_factory=lambda: _REACH_FIXPOINT_SQL),
+        # Real shared-nothing execution: 2 resident workers, batches on
+        # the wire.  The pool spawn is part of setup (untimed); the
+        # timed window covers distribute + load + 5 supersteps — the
+        # per-superstep dispatch overhead this PR budgets.
+        Workload("pagerank_mpp_2w", nodes=200, seed=19,
+                 options={"mpp_workers": 2, "iterations": 5},
+                 setup=_mpp_setup, run=_mpp_run,
+                 teardown=_mpp_teardown),
     )
 }
 
@@ -103,15 +141,25 @@ def run_workload(workload: Workload, repeats: int = 5,
     """Time one workload against fresh state and shape it as a ledger
     record.  ``slowdown`` seconds of sleep inside the timed window seed
     a deliberate regression (the gate's self-test)."""
-    sql = workload.sql_factory()
+    if workload.sql_factory is not None:
+        sql = workload.sql_factory()
+        setup, teardown = workload.build, None
 
-    def run(db) -> None:
-        if slowdown > 0.0:
-            time.sleep(slowdown)
-        db.execute(sql)
+        def run(db) -> None:
+            if slowdown > 0.0:
+                time.sleep(slowdown)
+            db.execute(sql)
+    else:
+        setup, teardown = workload.setup, workload.teardown
 
-    measurement = time_fresh(workload.name, workload.build, run,
-                             repeats=repeats, warmup=1)
+        def run(state) -> None:
+            if slowdown > 0.0:
+                time.sleep(slowdown)
+            workload.run(state)
+
+    measurement = time_fresh(workload.name, setup, run,
+                             repeats=repeats, warmup=1,
+                             teardown=teardown)
     return record_from_samples(
         BENCHMARK_NAME, workload.name, measurement.all_seconds,
         options=workload.options, kind=kind)

@@ -2,10 +2,10 @@
 
 ``repro-smoke`` (see ``[project.scripts]`` in pyproject.toml) runs the
 same marker set as ``scripts/check_all_smoke.sh``: the bench,
-observability, delta-evaluation, lint, stored-procedure, trace-diff and
-perf-gate guards, in one pytest invocation.  Pass ``--only
-bench|obs|delta|lint|procedures|tracediff|perf`` to run a single guard,
-plus any extra pytest arguments after ``--``.
+observability, delta-evaluation, lint, stored-procedure, trace-diff,
+perf-gate and MPP worker-pool guards, in one pytest invocation.  Pass
+``--only bench|obs|delta|lint|procedures|tracediff|perf|mpp`` to run a
+single guard, plus any extra pytest arguments after ``--``.
 
 ``_MARKERS`` is the source of truth for the guard list; a sync test
 (``tests/test_smoke_sync.py``) asserts ``scripts/check_all_smoke.sh``
@@ -26,6 +26,7 @@ _MARKERS = {
     "procedures": "procedures_smoke",
     "tracediff": "tracediff_smoke",
     "perf": "perf_smoke",
+    "mpp": "mpp_smoke",
 }
 
 
@@ -40,7 +41,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-smoke",
         description="Run the tier-1 smoke guards (bench + obs + delta "
-                    "+ lint + procedures + tracediff + perf).")
+                    "+ lint + procedures + tracediff + perf + mpp).")
     parser.add_argument("--only", choices=sorted(_MARKERS),
                         help="run a single guard instead of all of them")
     parser.add_argument("pytest_args", nargs="*",

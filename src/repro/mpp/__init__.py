@@ -16,7 +16,11 @@ from .distribution import (
 )
 from .iterative import (
     DistributedPageRankResult,
+    DistributedSsspResult,
     distributed_pagerank,
+    distributed_sssp,
+    pagerank_superstep_spec,
+    sssp_superstep_spec,
 )
 from .exchange import (
     JoinDecision,
@@ -26,9 +30,20 @@ from .exchange import (
     exchange_span,
     plan_join,
 )
+from .plan import (
+    ExchangeOp,
+    ExchangePlan,
+    LocalOp,
+    RegisterDef,
+    pagerank_exchange_plan,
+    sssp_exchange_plan,
+)
+from .superstep import SuperstepSpec, superstep_inline, superstep_pool
 from .workers import (
     InlineSegmentExecutor,
     ProcessSegmentExecutor,
+    WorkerPool,
+    WorkerReply,
     run_segment_tasks,
 )
 
@@ -41,14 +56,29 @@ __all__ = [
     "hash_partition_indices",
     "split_table",
     "DistributedPageRankResult",
+    "DistributedSsspResult",
     "distributed_pagerank",
+    "distributed_sssp",
+    "pagerank_superstep_spec",
+    "sssp_superstep_spec",
     "JoinDecision",
     "JoinStrategy",
     "distributed_aggregate_sum",
     "distributed_join",
     "exchange_span",
     "plan_join",
+    "ExchangeOp",
+    "ExchangePlan",
+    "LocalOp",
+    "RegisterDef",
+    "pagerank_exchange_plan",
+    "sssp_exchange_plan",
+    "SuperstepSpec",
+    "superstep_inline",
+    "superstep_pool",
     "InlineSegmentExecutor",
     "ProcessSegmentExecutor",
+    "WorkerPool",
+    "WorkerReply",
     "run_segment_tasks",
 ]

@@ -25,12 +25,22 @@ from .distribution import (
 
 @dataclass
 class MotionStats:
-    """Interconnect traffic counters."""
+    """Interconnect traffic counters.
+
+    ``suppressed_rows``/``suppressed_bytes``/``suppressed_batches``
+    count traffic that delta-shuffle *would* have moved but proved
+    unchanged — the wire savings the semi-naive exchange claims, kept
+    separate so ``bytes_moved`` stays strictly what crossed (or, in the
+    inline simulation, would cross) the interconnect.
+    """
 
     shuffles: int = 0
     broadcasts: int = 0
     rows_moved: int = 0
     bytes_moved: int = 0
+    suppressed_rows: int = 0
+    suppressed_bytes: int = 0
+    suppressed_batches: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return dict(self.__dict__)
@@ -40,6 +50,9 @@ class MotionStats:
         self.broadcasts = 0
         self.rows_moved = 0
         self.bytes_moved = 0
+        self.suppressed_rows = 0
+        self.suppressed_bytes = 0
+        self.suppressed_batches = 0
 
 
 @dataclass

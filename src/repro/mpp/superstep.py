@@ -1,0 +1,195 @@
+"""The distributed superstep: one spec, two substrates.
+
+A :class:`SuperstepSpec` packages everything one trip of a distributed
+iterative workload does — the local produce phase, the routed exchange,
+the overlap-eligible pre-apply work, and the apply phase — as
+module-level picklable callables plus the static
+:class:`~repro.mpp.plan.ExchangePlan` the verifier checks.
+
+Two runners execute the same spec:
+
+* :func:`superstep_inline` — the simulated cluster: segments run
+  sequentially in-process via :func:`~repro.mpp.workers.run_segment_tasks`
+  and the exchange moves nothing, only charging measured piece sizes to
+  the motion counters.
+* :func:`superstep_pool` — real shared-nothing execution on a
+  :class:`~repro.mpp.workers.WorkerPool`: each worker owns its
+  partitions, ships typed columnar batches to its peers over pipes (or
+  shared memory), and overlaps its pre-apply compute with the outbound
+  drain.  The coordinator only aggregates measured stats and grafts the
+  worker spans back, so traces and counters come out identical to the
+  inline runner.
+
+Bit-identity between the two rests on three invariants: both run the
+*same* produce/apply callables; each receiver assembles its incoming
+pieces in origin order (its own piece at its own index, empty pieces
+skipped) exactly like the inline loop appends them; and measured motion
+is always the piece's ``nbytes()`` regardless of transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..runtime.strategies import SEND, UNCHANGED, ExchangeStrategy
+from ..storage import Table
+from .cluster import Cluster, DistributedTable
+from .distribution import hash_partition_indices, split_table
+from .exchange import exchange_span
+from .plan import ExchangePlan
+from .workers import run_segment_tasks
+
+
+@dataclass(frozen=True)
+class SuperstepSpec:
+    """One trip of a distributed iterative workload, as data.
+
+    All callables must be module-level (picklable) and pure functions of
+    their arguments — the spec crosses the process boundary once and is
+    then executed by every worker every trip:
+
+    * ``produce(registers) -> Table`` — the local phase emitting the
+      rows to shuffle; ``registers`` maps register name -> this
+      segment's partition.
+    * ``pre_apply(registers) -> aux`` — optional apply work that needs
+      no incoming pieces; the pool runner executes it while outbound
+      batches drain (the compute/motion overlap), the inline runner
+      immediately before ``apply``.
+    * ``apply(registers, pieces, aux) -> Table`` — folds the incoming
+      pieces (origin order) into a new partition of the ``state``
+      register.
+    * ``metrics(registers, outbound) -> dict`` — optional per-segment
+      loop telemetry (``delta_rows``/``working_rows``/``total_rows``),
+      summed across segments by the runner.
+    """
+
+    name: str
+    produce: Callable
+    apply: Callable
+    route_key: str
+    state: str
+    plan: ExchangePlan
+    delta_shuffle: bool = False
+    pre_apply: Optional[Callable] = None
+    metrics: Optional[Callable] = None
+    produce_op: str = "produce"
+    apply_op: str = "apply"
+    exchange_op: str = "shuffle"
+
+
+def _produce_phase(spec: SuperstepSpec, registers: dict) -> Table:
+    return spec.produce(registers)
+
+
+def _apply_phase(spec: SuperstepSpec, registers: dict,
+                 pieces: list) -> Table:
+    aux = spec.pre_apply(registers) if spec.pre_apply else None
+    return spec.apply(registers, pieces, aux)
+
+
+def _sum_metrics(per_segment: list[Optional[dict]]) -> dict:
+    totals: dict[str, int] = {}
+    for metrics in per_segment:
+        for key, value in (metrics or {}).items():
+            totals[key] = totals.get(key, 0) + int(value)
+    return totals
+
+
+def charge_piece(motion, kind: str, piece: Table) -> None:
+    """Apply one classified cross-segment piece to the motion bill."""
+    if kind == SEND:
+        motion.rows_moved += piece.num_rows
+        motion.bytes_moved += piece.nbytes()
+    elif kind == UNCHANGED:
+        motion.suppressed_rows += piece.num_rows
+        motion.suppressed_bytes += piece.nbytes()
+        motion.suppressed_batches += 1
+
+
+def superstep_inline(cluster: Cluster, spec: SuperstepSpec,
+                     registers: dict[str, DistributedTable],
+                     strategy: ExchangeStrategy, tracer,
+                     executor=None) -> tuple[list[Table], dict]:
+    """One superstep on the simulated cluster.
+
+    Returns the new partitions of the ``state`` register and the summed
+    per-segment metrics.  ``strategy`` persists across trips (it holds
+    the delta-shuffle channel caches).
+    """
+    segments = cluster.segments
+    regs_per_segment = [
+        {name: table.partitions[i] for name, table in registers.items()}
+        for i in range(segments)]
+
+    with tracer.span("compute", kind="compute",
+                     operation=spec.produce_op):
+        chunks: list[Table] = run_segment_tasks(
+            tracer, _produce_phase,
+            [(spec, regs) for regs in regs_per_segment],
+            executor=executor)
+
+    with exchange_span(cluster, tracer, spec.exchange_op):
+        incoming: list[list[Table]] = [[] for _ in range(segments)]
+        for origin, chunk in enumerate(chunks):
+            assignment = hash_partition_indices(
+                chunk.column(spec.route_key), segments)
+            pieces = split_table(chunk, assignment, segments)
+            for segment, piece in enumerate(pieces):
+                if piece.num_rows == 0:
+                    continue
+                incoming[segment].append(piece)
+                if segment != origin:
+                    kind = strategy.classify((origin, segment), piece)
+                    charge_piece(cluster.motion, kind, piece)
+        cluster.motion.shuffles += 1
+
+    with tracer.span("compute", kind="compute", operation=spec.apply_op):
+        new_partitions = run_segment_tasks(
+            tracer, _apply_phase,
+            [(spec, regs_per_segment[i], incoming[i])
+             for i in range(segments)],
+            executor=executor)
+
+    metrics = _sum_metrics([
+        spec.metrics({**regs_per_segment[i], spec.state: new_partitions[i]},
+                     chunks[i]) if spec.metrics else None
+        for i in range(segments)])
+    return new_partitions, metrics
+
+
+def superstep_pool(cluster: Cluster, spec: SuperstepSpec, pool,
+                   tracer) -> dict:
+    """One superstep on a :class:`~repro.mpp.workers.WorkerPool`.
+
+    The workers do everything — produce, ship, overlap, apply — against
+    their resident partitions; this coordinator side only broadcasts
+    the trip command, folds the measured per-worker motion into the
+    cluster's bill, and rebuilds the inline trace shape by grafting the
+    worker-phase spans under freshly opened compute spans (the spans'
+    own seconds carry the worker-measured time; the coordinator spans
+    only provide the shape).
+    """
+    replies = pool.superstep(tracer)
+
+    with tracer.span("compute", kind="compute",
+                     operation=spec.produce_op):
+        if tracer.enabled:
+            context = tracer.context()
+            for reply in replies:
+                tracer.merge(context, reply.produce_spans)
+
+    with exchange_span(cluster, tracer, spec.exchange_op):
+        for reply in replies:
+            for key, value in reply.stats.items():
+                setattr(cluster.motion, key,
+                        getattr(cluster.motion, key) + value)
+        cluster.motion.shuffles += 1
+
+    with tracer.span("compute", kind="compute", operation=spec.apply_op):
+        if tracer.enabled:
+            context = tracer.context()
+            for reply in replies:
+                tracer.merge(context, reply.apply_spans)
+
+    return _sum_metrics([reply.metrics for reply in replies])

@@ -1,12 +1,26 @@
-"""Segment task execution: inline or in real worker processes.
+"""Segment task execution: inline, pooled tasks, or resident workers.
 
-The simulated cluster runs per-segment work in a plain loop; the
-process-backed executor runs the *same* task function in a
-``multiprocessing`` pool — the first step from simulated shared-nothing
-to actual shared-nothing.  Both paths go through one wrapper
-(:func:`_segment_task`) so they are indistinguishable above this module:
-same results, and — via :class:`repro.obs.TraceContext` — the same trace
-shape.
+Three substrates, one contract:
+
+* :class:`InlineSegmentExecutor` — the simulated cluster runs
+  per-segment work in a plain loop.
+* :class:`ProcessSegmentExecutor` — the same task functions in a
+  ``multiprocessing`` pool; state still lives with the coordinator and
+  ships with every task.
+* :class:`WorkerPool` — real shared-nothing execution: N resident
+  worker processes, spawned once per cluster, each *owning* its hash
+  partitions for the lifetime of the pool.  The coordinator drives
+  supersteps over duplex command pipes; data moves worker-to-worker
+  over dedicated one-way pipes (one per ordered pair) carrying the
+  typed columnar batches of :mod:`repro.mpp.wire`.  Within a
+  superstep each worker overlaps compute with motion: a sender thread
+  drains the outbound pieces while the main thread runs the
+  pre-apply phase, then receives in deterministic origin order —
+  receiving on per-origin pipes makes assembly order independent of
+  arrival order, which is what keeps float accumulation bit-identical
+  to the inline simulation.  No send ever blocks a receive (they run
+  on different threads), so pipe back-pressure cannot deadlock the
+  fleet.
 
 Tracing across the process boundary works by capture/buffer/merge: the
 parent captures one ``TraceContext`` at the span where segment work
@@ -19,9 +33,16 @@ context and the workers skip span buffering entirely.
 from __future__ import annotations
 
 import multiprocessing
+import threading
+import time
+from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
-from ..obs.trace import ContextTracer, TraceContext
+from ..errors import MppWorkerError
+from ..obs.trace import NULL_TRACER, ContextTracer, TraceContext
+from ..runtime.strategies import SEND, UNCHANGED, make_exchange_strategy
+from . import wire
+from .distribution import hash_partition_indices, split_table
 
 # payload = (fn, args, segment, context_dict | None)
 # outcome = (result, exported span dicts | None)
@@ -120,3 +141,345 @@ def run_segment_tasks(tracer, fn: Callable,
     if context is not None and exported:
         tracer.merge(context, exported)
     return results
+
+
+# ---------------------------------------------------------------------------
+# The persistent worker pool (real shared-nothing execution)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WorkerReply:
+    """One worker's superstep outcome, as received by the coordinator."""
+
+    segment: int
+    stats: dict
+    metrics: dict
+    produce_spans: list
+    apply_spans: list
+
+
+def _run_superstep(index: int, segments: int, spec, strategy,
+                   registers: dict, recv_cache: dict, outs: dict,
+                   ins: dict, shm_threshold: int,
+                   context_data: Optional[dict]) -> tuple:
+    """One superstep, worker side: produce → ship/overlap → apply.
+
+    The incoming pieces are assembled in origin order with this worker's
+    own piece at its own index and empty pieces skipped — exactly the
+    order the inline simulation appends them, which is what makes
+    ``np.add.at``-style float accumulation in ``spec.apply``
+    bit-identical across substrates.
+    """
+    produce_tracer = apply_tracer = None
+    if context_data is not None:
+        context = TraceContext.from_dict(context_data)
+        produce_tracer = ContextTracer(context)
+        apply_tracer = ContextTracer(context)
+
+    tracer = produce_tracer if produce_tracer else NULL_TRACER
+    with tracer.span("segment", kind="worker", segment=index):
+        outbound = spec.produce(registers)
+
+    assignment = hash_partition_indices(outbound.column(spec.route_key),
+                                        segments)
+    pieces = split_table(outbound, assignment, segments)
+
+    stats = {"rows_moved": 0, "bytes_moved": 0, "suppressed_rows": 0,
+             "suppressed_bytes": 0, "suppressed_batches": 0}
+    failures: list[BaseException] = []
+
+    def _ship() -> None:
+        # The motion half of the overlap: drains every outbound piece
+        # while the main thread runs pre-apply and starts receiving.
+        try:
+            for dest in range(segments):
+                if dest == index:
+                    continue
+                piece = pieces[dest]
+                kind = strategy.classify((index, dest), piece)
+                if kind == SEND:
+                    stats["bytes_moved"] += wire.send_piece(
+                        outs[dest], piece, shm_threshold)
+                    stats["rows_moved"] += piece.num_rows
+                elif kind == UNCHANGED:
+                    wire.send_unchanged(outs[dest])
+                    stats["suppressed_rows"] += piece.num_rows
+                    stats["suppressed_bytes"] += piece.nbytes()
+                    stats["suppressed_batches"] += 1
+                else:
+                    wire.send_empty(outs[dest])
+        except BaseException as exc:  # surfaced after join
+            failures.append(exc)
+
+    sender = threading.Thread(target=_ship, name=f"mpp-ship-{index}")
+    sender.start()
+
+    tracer = apply_tracer if apply_tracer else NULL_TRACER
+    with tracer.span("segment", kind="worker", segment=index):
+        # The compute half of the overlap: anything apply can do
+        # without incoming pieces runs while the sender drains.
+        aux = spec.pre_apply(registers) if spec.pre_apply else None
+        incoming = []
+        for origin in range(segments):
+            if origin == index:
+                if pieces[index].num_rows:
+                    incoming.append(pieces[index])
+                continue
+            kind, piece = wire.recv_piece(ins[origin])
+            if kind == wire.BATCH:
+                recv_cache[origin] = piece
+                incoming.append(piece)
+            elif kind == wire.UNCHANGED:
+                incoming.append(recv_cache[origin])
+        registers[spec.state] = spec.apply(registers, incoming, aux)
+
+    sender.join()
+    if failures:
+        raise failures[0]
+
+    metrics = spec.metrics(registers, outbound) if spec.metrics else {}
+    return (stats, metrics,
+            produce_tracer.export_spans() if produce_tracer else [],
+            apply_tracer.export_spans() if apply_tracer else [])
+
+
+def _worker_main(index: int, segments: int, cmd, outs: dict, ins: dict,
+                 shm_threshold: int) -> None:
+    """Resident worker loop: owns its partitions, executes commands."""
+    registers: dict = {}
+    spec = None
+    strategy = None
+    recv_cache: dict = {}
+    while True:
+        try:
+            message = cmd.recv()
+        except (EOFError, OSError):
+            return
+        tag = message[0]
+        try:
+            if tag == "stop":
+                return
+            if tag == "load":
+                registers[message[1]] = message[2]
+                cmd.send(("ok",))
+            elif tag == "spec":
+                spec = message[1]
+                strategy = make_exchange_strategy(spec.delta_shuffle)
+                recv_cache = {}
+                cmd.send(("ok",))
+            elif tag == "fetch":
+                cmd.send(("table", registers[message[1]]))
+            elif tag == "superstep":
+                reply = _run_superstep(
+                    index, segments, spec, strategy, registers,
+                    recv_cache, outs, ins, shm_threshold, message[1])
+                cmd.send(("done",) + reply)
+            else:
+                cmd.send(("error", tag, f"unknown command {tag!r}"))
+        except Exception as exc:
+            try:
+                cmd.send(("error", tag,
+                          f"{type(exc).__name__}: {exc}"))
+            except (OSError, BrokenPipeError):
+                return
+
+
+class WorkerPool:
+    """N resident worker processes forming a shared-nothing cluster.
+
+    Spawned once (per cluster, not per step) and reused across every
+    superstep of every loop run against it.  Topology: one duplex
+    command pipe coordinator↔worker, plus one one-way data pipe per
+    ordered worker pair — worker *i* sends to *j* on ``(i, j)`` and
+    receives from *j* on ``(j, i)``, so receiving "from origin *j*" is
+    a plain blocking read with no demultiplexing.
+
+    Failure containment: every coordinator wait is bounded by
+    ``timeout`` and watches the worker's liveness; a death or stall
+    raises :class:`~repro.errors.MppWorkerError` attributing the
+    segment, superstep, and operation, after force-stopping the rest of
+    the fleet so no orphan survives the error.
+    """
+
+    def __init__(self, workers: int, start_method: Optional[str] = None,
+                 shm_threshold: int = wire.SHM_THRESHOLD,
+                 timeout: float = 120.0):
+        if workers < 1:
+            raise ValueError("a worker pool needs at least one worker")
+        methods = multiprocessing.get_all_start_methods()
+        method = start_method or (
+            "fork" if "fork" in methods else methods[0])
+        context = multiprocessing.get_context(method)
+        self.workers = workers
+        self.timeout = timeout
+        self._trip = 0
+        self._closed = False
+
+        self._cmd = []
+        child_cmds = []
+        for _ in range(workers):
+            parent_end, child_end = context.Pipe()
+            self._cmd.append(parent_end)
+            child_cmds.append(child_end)
+        send_map: list[dict] = [{} for _ in range(workers)]
+        recv_map: list[dict] = [{} for _ in range(workers)]
+        for i in range(workers):
+            for j in range(workers):
+                if i == j:
+                    continue
+                recv_end, send_end = context.Pipe(duplex=False)
+                send_map[i][j] = send_end
+                recv_map[j][i] = recv_end
+
+        self._procs = []
+        for i in range(workers):
+            process = context.Process(
+                target=_worker_main,
+                args=(i, workers, child_cmds[i], send_map[i],
+                      recv_map[i], shm_threshold),
+                daemon=True, name=f"mpp-worker-{i}")
+            process.start()
+            self._procs.append(process)
+        # Drop the coordinator's copies of worker-only pipe ends; the
+        # workers keep theirs (inherited or pickled at spawn).
+        for i in range(workers):
+            child_cmds[i].close()
+            for connection in send_map[i].values():
+                connection.close()
+            for connection in recv_map[i].values():
+                connection.close()
+
+    # -- commands -----------------------------------------------------------
+
+    def load(self, name: str, partitions: Sequence) -> None:
+        """Install one partition of register ``name`` on each worker."""
+        if len(partitions) != self.workers:
+            raise ValueError(
+                f"{len(partitions)} partitions for {self.workers} workers")
+        for connection, partition in zip(self._cmd, partitions):
+            connection.send(("load", name, partition))
+        for segment in range(self.workers):
+            self._await(segment, "ok", "load")
+
+    def set_spec(self, spec) -> None:
+        """Install the superstep program (resets delta-shuffle caches)."""
+        for connection in self._cmd:
+            connection.send(("spec", spec))
+        for segment in range(self.workers):
+            self._await(segment, "ok", "spec")
+        self._trip = 0
+
+    def superstep(self, tracer=None) -> list[WorkerReply]:
+        """Run one superstep on every worker; replies in segment order."""
+        self._trip += 1
+        context_data = None
+        if tracer is not None and getattr(tracer, "enabled", False):
+            context_data = {"trace_id": tracer.trace_id,
+                            "context_id": 0, "path": []}
+        for connection in self._cmd:
+            connection.send(("superstep", context_data))
+        replies = []
+        for segment in range(self.workers):
+            message = self._await(segment, "done", "superstep")
+            replies.append(WorkerReply(segment, *message[1:]))
+        return replies
+
+    def fetch(self, name: str) -> list:
+        """Gather every worker's partition of register ``name``."""
+        for connection in self._cmd:
+            connection.send(("fetch", name))
+        return [self._await(segment, "table", "fetch")[1]
+                for segment in range(self.workers)]
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _await(self, segment: int, expected: str, operation: str):
+        connection = self._cmd[segment]
+        process = self._procs[segment]
+        deadline = time.monotonic() + self.timeout
+        message = None
+        while True:
+            try:
+                if connection.poll(0.05):
+                    message = connection.recv()
+                    break
+            except (EOFError, OSError):
+                break
+            if not process.is_alive():
+                # One last drain: the reply may have raced the exit.
+                try:
+                    if connection.poll(0):
+                        message = connection.recv()
+                except (EOFError, OSError):
+                    pass
+                break
+            if time.monotonic() > deadline:
+                self.shutdown(force=True)
+                raise MppWorkerError(
+                    f"worker timed out after {self.timeout:.0f}s",
+                    segment=segment, superstep=self._trip,
+                    operation=operation)
+        if message is None:
+            self.shutdown(force=True)
+            raise MppWorkerError(
+                "worker process died", segment=segment,
+                superstep=self._trip, operation=operation)
+        if message[0] == "error":
+            self.shutdown(force=True)
+            raise MppWorkerError(
+                f"worker failed: {message[2]}", segment=segment,
+                superstep=self._trip, operation=message[1])
+        if message[0] != expected:
+            self.shutdown(force=True)
+            raise MppWorkerError(
+                f"protocol error: expected {expected!r}, "
+                f"got {message[0]!r}", segment=segment,
+                superstep=self._trip, operation=operation)
+        return message
+
+    def shutdown(self, force: bool = False) -> None:
+        """Stop every worker; idempotent, leaves no orphans.
+
+        ``force`` skips the polite stop command (used on error paths
+        where workers may be wedged mid-superstep)."""
+        if self._closed:
+            return
+        self._closed = True
+        if not force:
+            for connection in self._cmd:
+                try:
+                    connection.send(("stop",))
+                except (OSError, BrokenPipeError):
+                    pass
+        for process in self._procs:
+            process.join(timeout=0.2 if force else 2.0)
+        for process in self._procs:
+            if process.is_alive():
+                process.terminate()
+        for process in self._procs:
+            process.join(timeout=2.0)
+        # SIGTERM stays *pending* for a stopped (SIGSTOP'd) worker and
+        # does nothing for one wedged in uninterruptible state; SIGKILL
+        # is the only signal guaranteed to reap it.
+        for process in self._procs:
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=2.0)
+        for connection in self._cmd:
+            try:
+                connection.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown(force=exc[0] is not None)
+
+    def __del__(self):  # safety net; shutdown() is the real API
+        try:
+            self.shutdown(force=True)
+        except Exception:
+            pass

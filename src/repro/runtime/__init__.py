@@ -21,19 +21,24 @@ from .loop_engine import LoopEngine, LoopRun
 from .registry import HANDLERS, dispatch, handles
 from .strategies import (
     DeltaLoopRuntime,
+    DeltaShuffleExchange,
     DemotionRecord,
+    ExchangeStrategy,
     FixpointIncremental,
     FullRecompute,
     LoopStrategy,
     RenameInPlace,
     SemiNaiveDelta,
     choose_strategy,
+    make_exchange_strategy,
 )
 
 __all__ = [
     "HANDLERS",
     "DeltaLoopRuntime",
+    "DeltaShuffleExchange",
     "DemotionRecord",
+    "ExchangeStrategy",
     "FixpointIncremental",
     "FullRecompute",
     "LoopEngine",
@@ -48,6 +53,7 @@ __all__ = [
     "count_changed_rows",
     "dispatch",
     "handles",
+    "make_exchange_strategy",
     "run_program",
     "should_continue",
 ]

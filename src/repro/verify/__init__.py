@@ -17,6 +17,7 @@ Two layers live here:
 """
 
 from ..errors import VerificationError
+from .exchange import check_exchange_plan, verify_exchange_plan
 from .plans import check_plan, verify_plan
 from .programs import VerificationReport, check_program, verify_program
 from .storage import check_segmented_table, verify_segmented_table
@@ -24,9 +25,11 @@ from .storage import check_segmented_table, verify_segmented_table
 __all__ = [
     "VerificationError",
     "VerificationReport",
+    "check_exchange_plan",
     "check_plan",
     "check_program",
     "check_segmented_table",
+    "verify_exchange_plan",
     "verify_plan",
     "verify_program",
     "verify_segmented_table",

@@ -79,3 +79,68 @@ class TestDeltaShuffle:
         naive = distributed_pagerank(Cluster(4), self.CHAIN, iterations=50)
         again = distributed_pagerank(Cluster(4), self.CHAIN, iterations=50)
         assert naive.rows_moved == again.rows_moved
+
+
+class TestDistributedSssp:
+    EDGES = generate_edges(dblp_like(nodes=200, seed=13))
+
+    @staticmethod
+    def _bellman_ford(edges, source):
+        nodes = {e[0] for e in edges} | {e[1] for e in edges} | {source}
+        dist = {v: float("inf") for v in nodes}
+        dist[source] = 0.0
+        for _ in range(len(nodes)):
+            changed = False
+            for src, dst, weight in edges:
+                candidate = dist[src] + weight
+                if candidate < dist[dst]:
+                    dist[dst] = candidate
+                    changed = True
+            if not changed:
+                break
+        return dist
+
+    def test_matches_bellman_ford(self):
+        from repro.mpp import distributed_sssp
+        result = distributed_sssp(Cluster(4), self.EDGES, source=1)
+        reference = self._bellman_ford(self.EDGES, source=1)
+        assert result.distances.keys() == reference.keys()
+        for node, dist in result.distances.items():
+            assert dist == pytest.approx(reference[node], abs=1e-12)
+
+    def test_segment_count_does_not_change_results(self):
+        from repro.mpp import distributed_sssp
+        baseline = distributed_sssp(Cluster(1), self.EDGES,
+                                    source=1).distances
+        for segments in (2, 3, 8):
+            assert distributed_sssp(Cluster(segments), self.EDGES,
+                                    source=1).distances == baseline
+
+    def test_converges_before_the_iteration_cap(self):
+        from repro.mpp import distributed_sssp
+        result = distributed_sssp(Cluster(4), self.EDGES, source=1,
+                                  max_iterations=64)
+        assert result.iterations < 64
+        # The last trip relaxed nothing (the convergence proof).
+        assert result.telemetry.records[-1].delta_rows == 0
+
+    def test_unreachable_nodes_stay_infinite(self):
+        from repro.mpp import distributed_sssp
+        edges = [(1, 2, 1.0), (2, 3, 1.0), (9, 10, 1.0)]
+        result = distributed_sssp(Cluster(2), edges, source=1)
+        assert result.distances[3] == 2.0
+        assert result.distances[9] == float("inf")
+        assert result.distances[10] == float("inf")
+
+    def test_delta_shuffle_identical_results(self):
+        from repro.mpp import distributed_sssp
+        naive = distributed_sssp(Cluster(4), self.EDGES, source=1)
+        delta = distributed_sssp(Cluster(4), self.EDGES, source=1,
+                                 delta_shuffle=True)
+        assert naive.distances == delta.distances
+        assert naive.iterations == delta.iterations
+
+    def test_single_segment_moves_nothing(self):
+        from repro.mpp import distributed_sssp
+        result = distributed_sssp(Cluster(1), self.EDGES, source=1)
+        assert result.rows_moved == 0

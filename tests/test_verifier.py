@@ -367,3 +367,153 @@ class TestVerifierToggle:
         compile_span = next(s for s in spans(trace["root"])
                             if s["name"] == "compile")
         assert compile_span["attributes"]["verifier"].startswith("ok (")
+
+
+# -- exchange plans (the distributed IR) ---------------------------------
+
+from repro.mpp.plan import (ExchangeOp, ExchangePlan, LocalOp,  # noqa: E402
+                            RegisterDef, pagerank_exchange_plan,
+                            sssp_exchange_plan)
+from repro.verify import check_exchange_plan, verify_exchange_plan  # noqa: E402
+
+
+def _xmut_duplicate_register(plan):
+    return dataclasses.replace(
+        plan, registers=plan.registers + (plan.registers[0],))
+
+
+def _xmut_key_not_a_column(plan):
+    bad = dataclasses.replace(plan.registers[0], key="no_such_column")
+    return dataclasses.replace(
+        plan, registers=(bad,) + plan.registers[1:])
+
+
+def _xmut_read_undefined(plan):
+    first = dataclasses.replace(
+        plan.steps[0], reads=plan.steps[0].reads + ("phantom",))
+    return dataclasses.replace(plan, steps=(first,) + plan.steps[1:])
+
+
+def _xmut_ship_undefined(plan):
+    steps = tuple(
+        dataclasses.replace(step, register="phantom")
+        if isinstance(step, ExchangeOp) else step
+        for step in plan.steps)
+    return dataclasses.replace(plan, steps=steps)
+
+
+def _xmut_route_key_not_a_column(plan):
+    steps = tuple(
+        dataclasses.replace(step, key="no_such_column")
+        if isinstance(step, ExchangeOp) else step
+        for step in plan.steps)
+    return dataclasses.replace(plan, steps=steps)
+
+
+def _xmut_delta_under_naive(plan):
+    steps = tuple(
+        dataclasses.replace(step, delta=True)
+        if isinstance(step, ExchangeOp) else step
+        for step in plan.steps)
+    return dataclasses.replace(plan, strategy="naive", steps=steps)
+
+
+def _xmut_drop_exchange(plan):
+    # Remove the motion: the apply phase's co-location contract on the
+    # shuffled register can no longer hold (it was never re-keyed).
+    return dataclasses.replace(
+        plan, steps=tuple(step for step in plan.steps
+                          if not isinstance(step, ExchangeOp)))
+
+
+def _xmut_unknown_strategy(plan):
+    return dataclasses.replace(plan, strategy="speculative")
+
+
+EXCHANGE_MUTATIONS = [
+    ("duplicate_register", _xmut_duplicate_register, "duplicate register"),
+    ("key_not_a_column", _xmut_key_not_a_column, "not one of its columns"),
+    ("read_undefined", _xmut_read_undefined, "undefined register"),
+    ("ship_undefined", _xmut_ship_undefined, "undefined register"),
+    ("route_key_not_a_column", _xmut_route_key_not_a_column,
+     "routes on"),
+    ("delta_under_naive", _xmut_delta_under_naive,
+     "delta suppression"),
+    ("drop_exchange", _xmut_drop_exchange, "requires"),
+    ("unknown_strategy", _xmut_unknown_strategy, "unknown plan strategy"),
+]
+
+
+class TestExchangePlanVerifier:
+    @pytest.mark.parametrize("build", [
+        lambda: pagerank_exchange_plan(delta_shuffle=False),
+        lambda: pagerank_exchange_plan(delta_shuffle=True),
+        lambda: sssp_exchange_plan(delta_shuffle=False),
+        lambda: sssp_exchange_plan(delta_shuffle=True),
+    ], ids=["pagerank", "pagerank_delta", "sssp", "sssp_delta"])
+    def test_pristine_plans_pass(self, build):
+        assert check_exchange_plan(build()) == []
+
+    @pytest.mark.parametrize(
+        "name,mutate,expected",
+        EXCHANGE_MUTATIONS, ids=[m[0] for m in EXCHANGE_MUTATIONS])
+    def test_corruption_rejected(self, name, mutate, expected):
+        for build in (pagerank_exchange_plan, sssp_exchange_plan):
+            plan = mutate(build())
+            violations = check_exchange_plan(plan)
+            assert violations, f"{name}: corruption went undetected"
+            assert any(expected in v for v in violations), \
+                f"{name}: none of {violations!r} mentions {expected!r}"
+
+    def test_error_names_the_pass(self):
+        plan = _xmut_ship_undefined(pagerank_exchange_plan())
+        with pytest.raises(VerificationError) as excinfo:
+            verify_exchange_plan(plan, "pagerank:exchange_plan")
+        assert excinfo.value.pass_name == "pagerank:exchange_plan"
+        assert "after pass 'pagerank:exchange_plan'" in str(excinfo.value)
+
+    def test_colocation_tracks_exchange_rekey(self):
+        # A register shuffled onto one key then required on another must
+        # be flagged — the exchange is what establishes the distribution.
+        plan = ExchangePlan(
+            name="rekey", strategy="naive",
+            registers=(RegisterDef("state", ("node", "rank"), key="node"),),
+            steps=(
+                LocalOp("produce", reads=("state",), writes=("out",)),
+                ExchangeOp("out", key="dst", columns=("dst", "value")),
+                LocalOp("consume", reads=("state", "out"),
+                        requires=((("state", "node"), ("out", "value")),)),
+            ))
+        violations = check_exchange_plan(plan)
+        assert any("hashed on" in v and "'out'" in v for v in violations)
+
+    def test_local_write_invalidates_key_knowledge(self):
+        # Rebuilding a shuffled register locally (not reading it) drops
+        # its partition-key fact; a later contract on the old key fails.
+        plan = ExchangePlan(
+            name="invalidate", strategy="naive",
+            registers=(RegisterDef("state", ("node", "rank"), key="node"),),
+            steps=(
+                LocalOp("produce", reads=("state",), writes=("out",)),
+                ExchangeOp("out", key="dst", columns=("dst", "value")),
+                LocalOp("rebuild", reads=("state",), writes=("out",)),
+                LocalOp("consume", reads=("out",),
+                        requires=((("out", "dst"),),)),
+            ))
+        violations = check_exchange_plan(plan)
+        assert any("not hash-partitioned" in v for v in violations)
+
+    def test_drivers_verify_before_running(self):
+        # The distributed drivers must reject a broken plan before any
+        # partitioning work happens.
+        from repro.mpp.iterative import _verify_spec
+        from repro.mpp.superstep import SuperstepSpec
+
+        spec = SuperstepSpec(
+            name="broken", produce=lambda regs: None,
+            apply=lambda regs, pieces, aux: None, route_key="dst",
+            state="state",
+            plan=_xmut_ship_undefined(pagerank_exchange_plan()))
+        with pytest.raises(VerificationError) as excinfo:
+            _verify_spec(spec)
+        assert excinfo.value.pass_name == "broken:exchange_plan"
