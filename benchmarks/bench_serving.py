@@ -1,0 +1,205 @@
+"""Serving-layer bench — multi-client throughput, tail latency, and the
+shared-plan-cache ablation (no paper figure; ROADMAP "Multi-client
+serving layer").
+
+N simulated clients drive one :class:`repro.server.DatabaseServer` with
+a mixed storm — repeated-shape point reads, an iterative SSSP CTE, and
+DML taking the engine write path — once with the shared plan cache on
+(the default) and once with ``enable_plan_cache=False`` on the engine's
+session template.  Each run is a fresh engine over the same generated
+graph, so the two ablation arms execute the identical statement
+sequence.
+
+Two contracts are asserted, not just reported:
+
+* **cache efficacy** — the cache-on arm's hit rate over the
+  repeated-shape statements is ≥ ``HIT_RATE_FLOOR`` (0.9), and its
+  mean request latency is lower than the cache-off arm's (the whole
+  point of skipping parse → bind → rewrite → compile);
+* **identical answers** — both arms return the same result payloads
+  request for request.
+
+Writes ``BENCH_serving.json`` via the shared bench-artifact helper:
+throughput (requests/s), mean/p50/p99 latency per arm, and the
+plan-cache counter block from the cache-on engine.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+from repro import Database
+from repro.datasets import dblp_like, load_graph
+from repro.execution import SessionOptions
+from repro.harness import Comparison, Measurement, write_bench_artifact
+from repro.server import serve
+from repro.workloads import sssp_query
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+NODES = max(120, int(600 * SCALE))
+CLIENTS = 8
+ROUNDS = max(4, int(12 * SCALE))
+WORKERS = 4
+HIT_RATE_FLOOR = 0.9
+
+_ITERATE_SQL = sssp_query(source=1, iterations=4)
+_READ_SQL = "SELECT COUNT(*) FROM edges WHERE src > 0"
+_GROUP_SQL = ("SELECT dst, COUNT(*) FROM edges "
+              "GROUP BY dst ORDER BY dst LIMIT 5")
+
+
+def _statement(round_no: int, slot: int) -> str:
+    """The mixed storm, deterministic in (round, client slot)."""
+    kind = (round_no + slot) % 5
+    if kind == 4:
+        # DML on the shared write path; src < 0 never matches, so both
+        # ablation arms keep identical table contents.
+        return "DELETE FROM edges WHERE src < 0"
+    if kind == 3:
+        return _ITERATE_SQL
+    if kind == 2:
+        return _GROUP_SQL
+    return _READ_SQL
+
+
+def _build_database(enable_plan_cache: bool) -> Database:
+    db = Database(SessionOptions(enable_plan_cache=enable_plan_cache))
+    load_graph(db, dblp_like(nodes=NODES, seed=29))
+    return db
+
+
+def _percentile(sorted_values, fraction: float) -> float:
+    index = int(round(fraction * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+def run_arm(label: str, enable_plan_cache: bool) -> dict:
+    """One ablation arm: CLIENTS threads × ROUNDS mixed statements."""
+    db = _build_database(enable_plan_cache)
+    latencies_by_slot = [[] for _ in range(CLIENTS)]
+    payloads_by_slot = [[] for _ in range(CLIENTS)]
+    errors = []
+
+    server = serve(db, workers=WORKERS, queue_depth=CLIENTS * ROUNDS)
+    started = time.perf_counter()
+    try:
+        def client_loop(slot: int) -> None:
+            client = server.connect()
+            try:
+                for round_no in range(ROUNDS):
+                    sql = _statement(round_no, slot)
+                    begin = time.perf_counter()
+                    result = client.execute(sql)
+                    latencies_by_slot[slot].append(
+                        time.perf_counter() - begin)
+                    payloads_by_slot[slot].append(
+                        result.rows() if result.table is not None
+                        else None)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client_loop, args=(slot,))
+                   for slot in range(CLIENTS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+    finally:
+        server.shutdown()
+
+    assert errors == [], errors
+    latencies = sorted(t for slot in latencies_by_slot for t in slot)
+    requests = len(latencies)
+    stats = db.stats
+    counted = stats.plan_cache_hits + stats.plan_cache_misses
+    return {
+        "label": label,
+        "plan_cache": enable_plan_cache,
+        "requests": requests,
+        "elapsed_seconds": elapsed,
+        "throughput_rps": requests / elapsed,
+        "mean_latency_seconds": sum(latencies) / requests,
+        "p50_latency_seconds": _percentile(latencies, 0.50),
+        "p99_latency_seconds": _percentile(latencies, 0.99),
+        "plan_cache_hits": stats.plan_cache_hits,
+        "plan_cache_shape_hits": stats.plan_cache_shape_hits,
+        "plan_cache_misses": stats.plan_cache_misses,
+        "plan_cache_invalidations": stats.plan_cache_invalidations,
+        "hit_rate": (stats.plan_cache_hits / counted) if counted else 0.0,
+        "payloads": payloads_by_slot,
+    }
+
+
+def run_benchmark(artifact_dir=None) -> dict:
+    cached = run_arm("serving/cache_on", True)
+    uncached = run_arm("serving/cache_off", False)
+
+    # Same storm, same graph, same answers — the cache must be
+    # invisible to results.
+    assert cached["payloads"] == uncached["payloads"], \
+        "plan-cache ablation changed query results"
+
+    assert cached["hit_rate"] >= HIT_RATE_FLOOR, (
+        f"plan-cache hit rate {cached['hit_rate']:.2%} below the "
+        f"{HIT_RATE_FLOOR:.0%} floor on repeated-shape statements")
+    assert uncached["plan_cache_hits"] == 0
+    assert cached["mean_latency_seconds"] \
+        < uncached["mean_latency_seconds"], (
+            "cache-on mean latency "
+            f"{cached['mean_latency_seconds'] * 1000:.2f}ms not below "
+            f"cache-off {uncached['mean_latency_seconds'] * 1000:.2f}ms")
+
+    speedup = (uncached["mean_latency_seconds"]
+               / cached["mean_latency_seconds"])
+    for arm in (cached, uncached):
+        arm.pop("payloads")
+        print(f"{arm['label']:>22}: {arm['throughput_rps']:7.1f} req/s  "
+              f"mean {arm['mean_latency_seconds'] * 1000:6.2f}ms  "
+              f"p99 {arm['p99_latency_seconds'] * 1000:6.2f}ms  "
+              f"hit rate {arm['hit_rate']:.2%}")
+    print(f"plan-cache speedup: {speedup:.2f}x mean latency "
+          f"({cached['plan_cache_hits']} hits, "
+          f"{cached['plan_cache_misses']} misses)")
+
+    summary = {
+        "benchmark": "serving",
+        "nodes": NODES,
+        "clients": CLIENTS,
+        "rounds": ROUNDS,
+        "workers": WORKERS,
+        "requests_per_arm": cached["requests"],
+        "hit_rate_floor": HIT_RATE_FLOOR,
+        "speedup_mean_latency": speedup,
+        "identical_results": True,
+        "arms": {"cache_on": cached, "cache_off": uncached},
+    }
+    print(json.dumps(summary, indent=2))
+    if artifact_dir is not None:
+        measurements = [
+            Measurement(arm["label"], arm["mean_latency_seconds"],
+                        repeats=arm["requests"])
+            for arm in (cached, uncached)]
+        comparison = Comparison(
+            "serving_mixed_mean_latency",
+            baseline=measurements[1], optimized=measurements[0])
+        path = write_bench_artifact("serving",
+                                    comparisons=[comparison],
+                                    measurements=measurements,
+                                    extra=summary,
+                                    directory=artifact_dir)
+        print(f"wrote {path}")
+    return summary
+
+
+def test_serving_report():
+    summary = run_benchmark()
+    assert summary["arms"]["cache_on"]["hit_rate"] >= HIT_RATE_FLOOR
+    assert summary["speedup_mean_latency"] > 1.0
+
+
+if __name__ == "__main__":
+    run_benchmark(artifact_dir=".")

@@ -12,6 +12,7 @@
 #   tracediff  scripts/check_trace_diff.sh    native vs baseline diff
 #   perf       scripts/check_perf_gate.sh     perf ledger + regression gate
 #   mpp        scripts/check_mpp_smoke.sh     2-worker shared-nothing parity
+#   serving    scripts/check_serving_smoke.sh multi-session server + snapshots
 #
 # Usage: scripts/check_all_smoke.sh [extra pytest args...]
 set -euo pipefail
@@ -50,6 +51,7 @@ run_guard trace-diff-cli scripts/check_trace_diff.sh
 run_pytest_guard perf perf_smoke "$@"
 run_guard perf-gate-cli scripts/check_perf_gate.sh
 run_pytest_guard mpp mpp_smoke "$@"
+run_pytest_guard serving serving_smoke "$@"
 
 if [ -n "$failed" ]; then
     echo "smoke: FAILED guards:$failed" >&2

@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Tier-1 serving smoke: start the in-process thread-pool server over a
+# shared Engine, drive concurrent sessions (snapshot-pinned reads while
+# writers append), and demand serial-equivalent results plus working
+# admission control and plan-cache invalidation.  Fast (< 15s): the
+# tables are smoke-scale and the worker pool is threads, not processes.
+#
+# Usage: scripts/check_serving_smoke.sh [extra pytest args...]
+set -eu
+
+cd "$(dirname "$0")/.."
+PYTHONPATH=src exec python -m pytest -m serving_smoke -q "$@"

@@ -1,440 +1,37 @@
-"""The Database façade: the public entry point of the engine.
+"""The Database façade: the public entry point of the embedded engine.
 
 Mirrors the paper's processing pipeline: parse → functional rewrite
 (iterative/recursive CTE expansion into a step program) → optimization
 rewrites → execution.  ``execute`` takes SQL text (or a parsed statement)
 and returns a :class:`QueryResult` for queries, or an affected-row count
 wrapped in the same type for DML.
+
+Since the engine/session split, a ``Database`` is exactly a private
+:class:`~repro.engine.engine.Engine` plus the one
+:class:`~repro.engine.session.Session` over it — every method lives on
+the session.  Multi-client embedders create the engine themselves and
+open sessions with :meth:`Engine.create_session` (or go through
+``repro.server`` for dispatch, admission control, and tracing).
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
-from typing import Any, Iterable, Optional, Sequence
+from typing import Optional
 
-from ..errors import CatalogError, ReproError
-from ..execution import (
-    ExecutionContext,
-    ExecutionStats,
-    SessionOptions,
-)
-from ..obs import (
-    NULL_TRACER,
-    MetricsRegistry,
-    Trace,
-    Tracer,
-    build_trace,
-)
-from ..plan import PlanContext
-from ..plan.program import Program
-from ..sql import ast, parse, parse_script
-from ..storage import (
-    Catalog,
-    ColumnSchema,
-    ResultRegistry,
-    Schema,
-    Table,
-    pretty_table,
-)
-from ..core.rewrite import compile_statement
-from ..runtime import ProgramRunner
-from ..stats import (
-    CardinalityEstimator,
-    StatisticsCatalog,
-    estimate_program,
-)
-from ..types import SqlType, type_from_name
-from .dml import execute_delete, execute_insert, execute_update
-from .transactions import LockMode, TransactionManager
-from .workload import UnitKind, WorkloadManager
+from ..execution import SessionOptions
+from .engine import Engine
+from .session import QueryResult, Session
+
+__all__ = ["Database", "QueryResult"]
 
 
-@dataclass
-class QueryResult:
-    """Result of one statement: a table for queries, a row count for DML."""
+class Database(Session):
+    """An embedded relational engine with iterative-CTE support.
 
-    table: Optional[Table] = None
-    rowcount: int = 0
-
-    def rows(self) -> list[tuple]:
-        return self.table.rows() if self.table is not None else []
-
-    def to_dicts(self) -> list[dict[str, Any]]:
-        return self.table.to_dicts() if self.table is not None else []
-
-    def column_names(self) -> list[str]:
-        if self.table is None:
-            return []
-        return self.table.schema.names
-
-    def scalar(self) -> Any:
-        rows = self.rows()
-        if len(rows) != 1 or len(rows[0]) != 1:
-            raise ReproError(
-                f"scalar() needs a 1x1 result, got {len(rows)} row(s)")
-        return rows[0][0]
-
-    def pretty(self, limit: int = 20) -> str:
-        if self.table is None:
-            return f"({self.rowcount} rows affected)"
-        return pretty_table(self.table, limit)
-
-
-class Database:
-    """An embedded relational engine with iterative-CTE support."""
+    A single-session convenience wrapper: construction builds a private
+    shared :class:`Engine` and binds this object as its first session.
+    ``db.engine`` exposes the engine for callers that outgrow one
+    session."""
 
     def __init__(self, options: Optional[SessionOptions] = None):
-        from ..execution.kernel_cache import KernelCache
-        self.catalog = Catalog()
-        self.registry = ResultRegistry()
-        self.options = options or SessionOptions()
-        self.stats = ExecutionStats()
-        self.transactions = TransactionManager()
-        self.workload = WorkloadManager()
-        self.statistics = StatisticsCatalog(self.catalog)
-        # One kernel cache per database, shared by every statement's
-        # execution context so loop-invariant state survives across
-        # queries; DML invalidates the entries it replaces.
-        self.kernel_cache = KernelCache(self.stats)
-        # Observability (repro.obs): the metrics registry generalizes the
-        # flat ExecutionStats counters; the last recorded trace backs
-        # last_trace()/trace_json().
-        self.metrics = MetricsRegistry()
-        self._last_trace: Optional[Trace] = None
-        # Loop telemetry published by the most recent traced run, picked
-        # up by execute()/explain_analyze() when freezing the trace.
-        self._trace_loops: list = []
-
-    # -- public API --------------------------------------------------------
-
-    def execute(self, sql: str | ast.Statement) -> QueryResult:
-        """Parse (if needed) and run one statement.
-
-        With the ``enable_tracing`` session option on, the statement
-        records a span trace plus per-iteration loop telemetry,
-        retrievable afterwards via :meth:`last_trace` /
-        :meth:`trace_json`.
-        """
-        tracer = Tracer() if self.options.enable_tracing else NULL_TRACER
-        started = time.perf_counter()
-        stats_before = self.stats.snapshot() if tracer.enabled else None
-        sql_text = sql if isinstance(sql, str) else None
-        with tracer.span("statement", kind="query"):
-            statement = parse(sql, tracer) if isinstance(sql, str) else sql
-            self.stats.statements += 1
-            try:
-                result = self._dispatch(statement, tracer)
-            finally:
-                self.transactions.statement_boundary()
-        self.metrics.counter("statements").add(1)
-        self.metrics.histogram("statement_seconds").observe(
-            time.perf_counter() - started)
-        if tracer.enabled:
-            self._last_trace = build_trace(
-                tracer, loops=self._pending_loop_telemetry(tracer),
-                metrics=self.stats.delta_since(stats_before),
-                sql=sql_text)
-        return result
-
-    def execute_script(self, sql: str) -> list[QueryResult]:
-        """Run a ';'-separated script; returns one result per statement."""
-        return [self.execute(stmt) for stmt in parse_script(sql)]
-
-    def explain(self, sql: str | ast.Statement,
-                verbose: bool = False) -> str:
-        """The step program for a query, in the paper's Table I style."""
-        statement = parse(sql) if isinstance(sql, str) else sql
-        if isinstance(statement, ast.Explain):
-            statement = statement.statement
-        if not isinstance(statement, (ast.Select, ast.SetOp)):
-            raise ReproError("EXPLAIN supports only queries")
-        program = self._compile(statement)
-        return program.explain(verbose=verbose)
-
-    def explain_cost(self, sql: str | ast.Statement) -> str:
-        """The step program plus the cost model's estimate: setup +
-        estimated-iterations x per-iteration + final (the paper's
-        future-work costing, see repro.stats)."""
-        statement = parse(sql) if isinstance(sql, str) else sql
-        if not isinstance(statement, (ast.Select, ast.SetOp)):
-            raise ReproError("EXPLAIN supports only queries")
-        program = self._compile(statement)
-        report = estimate_program(
-            program, self.statistics,
-            default_iterations=self.options.default_iteration_estimate)
-        return program.explain() + "\n--\n" + report.describe()
-
-    def explain_analyze(self, sql: str | ast.Statement) -> str:
-        """Run the query and report measured per-step executions, rows
-        and time — the runtime counterpart of ``explain_cost``.
-
-        Always traces (regardless of ``enable_tracing``): the rendered
-        report includes the span tree plus a per-iteration breakdown for
-        every loop, and the trace is stored for :meth:`last_trace`.
-        """
-        sql_text = sql if isinstance(sql, str) else None
-        tracer = Tracer()
-        stats_before = self.stats.snapshot()
-        with tracer.span("statement", kind="query"):
-            statement = parse(sql, tracer) if isinstance(sql, str) else sql
-            if not isinstance(statement, (ast.Select, ast.SetOp)):
-                raise ReproError("EXPLAIN ANALYZE supports only queries")
-            program = self._compile(statement, tracer)
-            # Cost the program before running it so the iteration
-            # estimate does not see this very run's measurement.
-            cost_report = estimate_program(
-                program, self.statistics,
-                default_iterations=self.options.default_iteration_estimate)
-            for estimate in cost_report.loop_estimates:
-                spec = program.loops.get(estimate.loop_id)
-                tracer.event(
-                    "loop_estimate", kind="decision",
-                    loop_id=estimate.loop_id,
-                    cte=spec.cte_name if spec is not None else "",
-                    estimated_iterations=estimate.iterations,
-                    basis=estimate.basis,
-                    estimated_cost_per_iteration=(
-                        cost_report.per_iteration_cost.get(
-                            estimate.loop_id)),
-                    reason=(f"compile-time iteration estimate on a "
-                            f"{estimate.basis} basis"))
-            ctx = ExecutionContext(self.catalog, self.registry,
-                                   self.options, self.stats,
-                                   self.kernel_cache, tracer=tracer)
-            runner = ProgramRunner(program, ctx, instrument=True)
-            with tracer.span("execute", kind="phase"):
-                runner.run()
-        self._record_loop_measurements(runner)
-        loops = [runner.loop_telemetry[key]
-                 for key in sorted(runner.loop_telemetry)]
-        self._last_trace = build_trace(
-            tracer, loops=loops,
-            metrics=self.stats.delta_since(stats_before), sql=sql_text)
-        report = runner.report()
-        error_lines = self._iteration_error_lines(program, cost_report,
-                                                  runner)
-        if error_lines:
-            report += "\n" + "\n".join(error_lines)
-        return report
-
-    def publish_trace(self, tracer: Tracer, loops: Iterable = (),
-                      sql: Optional[str] = None,
-                      metrics: Optional[dict] = None) -> Trace:
-        """Freeze ``tracer`` as this database's last trace.
-
-        Used by the out-of-engine drivers (middleware, stored
-        procedures, MPP harnesses) so their baseline runs appear in
-        :meth:`trace_json` side by side with engine traces."""
-        self._last_trace = build_trace(tracer, loops=loops,
-                                       metrics=metrics, sql=sql)
-        return self._last_trace
-
-    def last_trace(self) -> Optional[Trace]:
-        """The trace of the most recent traced statement (``None`` when
-        nothing has been traced — tracing is opt-in via the
-        ``enable_tracing`` option or ``explain_analyze``)."""
-        return self._last_trace
-
-    def trace_json(self, indent: Optional[int] = None) -> str:
-        """The last trace serialized to its stable JSON schema."""
-        if self._last_trace is None:
-            raise ReproError(
-                "no trace recorded: set the enable_tracing option or run "
-                "explain_analyze() first")
-        return self._last_trace.to_json(indent=indent)
-
-    def metrics_snapshot(self) -> dict:
-        """Current contents of the metrics registry plus the flat
-        execution counters ingested as gauges."""
-        self.metrics.ingest(self.stats.snapshot(), prefix="stats.")
-        return self.metrics.snapshot()
-
-    def set_option(self, name: str, value) -> None:
-        if not hasattr(self.options, name):
-            raise ReproError(f"unknown session option: {name!r}")
-        setattr(self.options, name, value)
-
-    def reset_stats(self) -> None:
-        self.stats.reset()
-        self.workload.reset()
-        self.metrics.reset()
-
-    # -- convenience loaders -------------------------------------------------
-
-    def create_table(self, name: str,
-                     columns: Sequence[tuple[str, SqlType]],
-                     primary_key: Optional[str] = None) -> None:
-        schema = Schema(tuple(ColumnSchema(n.lower(), t)
-                              for n, t in columns), primary_key)
-        self.catalog.create(name, schema)
-
-    def load_rows(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
-        """Bulk append rows to an existing table (no per-row DML cost)."""
-        table = self.catalog.get(name)
-        loaded = Table.from_rows(table.schema, rows)
-        self.kernel_cache.invalidate_table(table)
-        self.catalog.put(name, table.concat(loaded)
-                         if table.num_rows else loaded)
-        return loaded.num_rows
-
-    def table(self, name: str) -> Table:
-        return self.catalog.get(name)
-
-    # -- dispatch ------------------------------------------------------------
-
-    def _plan_context(self) -> PlanContext:
-        return PlanContext(self.catalog)
-
-    def _compile(self, statement: ast.SelectLike,
-                 tracer=NULL_TRACER) -> Program:
-        self.stats.plans_built += 1
-        estimator = CardinalityEstimator(self.statistics)
-        with tracer.span("compile", kind="phase") as span:
-            program = compile_statement(statement, self._plan_context(),
-                                        self.options, self.stats,
-                                        estimator, tracer)
-            if tracer.enabled:
-                span.set(steps=len(program.steps))
-                if program.verifier_verdict is not None:
-                    span.set(verifier=program.verifier_verdict)
-        return program
-
-    def _pending_loop_telemetry(self, tracer) -> list:
-        """Loop telemetry handed up by the runner of a traced run."""
-        loops, self._trace_loops = self._trace_loops, []
-        return loops
-
-    def _record_loop_measurements(self, runner: ProgramRunner) -> None:
-        """Feed observed iteration counts back into the statistics
-        catalog so subsequent cost estimates use measured convergence."""
-        for cte_name, count in runner.loop_iteration_counts().items():
-            self.statistics.record_loop_iterations(cte_name, count)
-
-    @staticmethod
-    def _iteration_error_lines(program: Program, cost_report,
-                               runner: ProgramRunner) -> list[str]:
-        """Estimated-vs-measured iteration lines for EXPLAIN ANALYZE."""
-        measured_by_cte = runner.loop_iteration_counts()
-        lines: list[str] = []
-        for estimate in cost_report.loop_estimates:
-            spec = program.loops.get(estimate.loop_id)
-            if spec is None:
-                continue
-            measured = measured_by_cte.get(spec.cte_name.lower())
-            if measured is None:
-                continue
-            error = (estimate.iterations - measured) / max(measured, 1)
-            lines.append(
-                f"loop {spec.cte_name}: estimated "
-                f"{estimate.iterations:.0f} iterations "
-                f"({estimate.basis}), measured {measured}, "
-                f"error {error:+.0%}")
-        return lines
-
-    def _run_query(self, statement: ast.SelectLike,
-                   tracer=NULL_TRACER) -> Table:
-        program = self._compile(statement, tracer)
-        self.workload.admit(UnitKind.QUERY, "query",
-                            steps=len(program.steps))
-        ctx = ExecutionContext(self.catalog, self.registry, self.options,
-                               self.stats, self.kernel_cache,
-                               tracer=tracer)
-        runner = ProgramRunner(program, ctx)
-        with tracer.span("execute", kind="phase"):
-            table = runner.run()
-        self._record_loop_measurements(runner)
-        if tracer.enabled:
-            self._trace_loops = [runner.loop_telemetry[key]
-                                 for key in sorted(runner.loop_telemetry)]
-        if table is None:
-            raise ReproError("query program produced no result")
-        return table
-
-    def _dispatch(self, statement: ast.Statement,
-                  tracer=NULL_TRACER) -> QueryResult:
-        if isinstance(statement, (ast.Select, ast.SetOp)):
-            return QueryResult(table=self._run_query(statement, tracer))
-
-        if isinstance(statement, ast.Explain):
-            text = self.explain(statement.statement)
-            table = Table.from_columns([
-                ("plan", SqlType.TEXT, text.splitlines()),
-            ])
-            return QueryResult(table=table)
-
-        if isinstance(statement, ast.CreateTable):
-            self._execute_create(statement)
-            return QueryResult()
-
-        if isinstance(statement, ast.Analyze):
-            self.workload.admit(UnitKind.DDL,
-                                f"analyze {statement.table or 'all'}")
-            analyzed = self.statistics.analyze(statement.table)
-            table = Table.from_columns([
-                ("analyzed", SqlType.TEXT, analyzed)])
-            return QueryResult(table=table, rowcount=len(analyzed))
-
-        if isinstance(statement, ast.DropTable):
-            self.workload.admit(UnitKind.DDL, f"drop {statement.name}")
-            self.transactions.lock(statement.name, LockMode.EXCLUSIVE)
-            self.catalog.drop(statement.name, statement.if_exists)
-            self.statistics.invalidate(statement.name)
-            return QueryResult()
-
-        ctx = ExecutionContext(self.catalog, self.registry, self.options,
-                               self.stats, self.kernel_cache)
-
-        if isinstance(statement, ast.Insert):
-            self.workload.admit(UnitKind.DML, f"insert {statement.table}")
-            self.transactions.lock(statement.table, LockMode.EXCLUSIVE)
-            self.statistics.invalidate(statement.table)
-            count = execute_insert(statement, ctx, self._plan_context(),
-                                   self._run_query)
-            return QueryResult(rowcount=count)
-
-        if isinstance(statement, ast.Update):
-            self.workload.admit(UnitKind.DML, f"update {statement.table}")
-            self.transactions.lock(statement.table, LockMode.EXCLUSIVE)
-            self.statistics.invalidate(statement.table)
-            count = execute_update(statement, ctx, self._plan_context())
-            return QueryResult(rowcount=count)
-
-        if isinstance(statement, ast.Delete):
-            self.workload.admit(UnitKind.DML, f"delete {statement.table}")
-            self.transactions.lock(statement.table, LockMode.EXCLUSIVE)
-            self.statistics.invalidate(statement.table)
-            count = execute_delete(statement, ctx, self._plan_context())
-            return QueryResult(rowcount=count)
-
-        if isinstance(statement, ast.BeginTransaction):
-            self.workload.admit(UnitKind.CONTROL, "begin")
-            self.transactions.begin()
-            return QueryResult()
-        if isinstance(statement, ast.CommitTransaction):
-            self.workload.admit(UnitKind.CONTROL, "commit")
-            self.transactions.commit()
-            return QueryResult()
-        if isinstance(statement, ast.RollbackTransaction):
-            self.workload.admit(UnitKind.CONTROL, "rollback")
-            self.transactions.rollback()
-            return QueryResult()
-
-        raise ReproError(
-            f"unsupported statement: {type(statement).__name__}")
-
-    def _execute_create(self, statement: ast.CreateTable) -> None:
-        self.workload.admit(UnitKind.DDL, f"create {statement.name}")
-        self.transactions.lock(statement.name, LockMode.EXCLUSIVE)
-        primary_key = None
-        columns = []
-        for definition in statement.columns:
-            sql_type = type_from_name(definition.type_name)
-            columns.append(ColumnSchema(definition.name.lower(), sql_type))
-            if definition.primary_key:
-                if primary_key is not None:
-                    raise CatalogError("multiple PRIMARY KEY columns")
-                primary_key = definition.name.lower()
-        schema = Schema(tuple(columns), primary_key)
-        self.catalog.create(statement.name, schema,
-                            statement.if_not_exists)
+        super().__init__(Engine(options), options=options)

@@ -62,10 +62,12 @@ def execute_insert(stmt: ast.Insert, ctx: ExecutionContext,
     ctx.kernel_cache.invalidate_table(table)
     if table.num_rows and full_rows:
         # Append a segment in O(|inserted|) instead of copying the whole
-        # table; scans consolidate lazily.
+        # table; scans consolidate lazily.  The pre-append schema lets
+        # the catalog detect in-place widening (wrap may alias `table`).
+        prior_schema = table.schema
         segmented = SegmentedTable.wrap(table)
         segmented.append(appended)
-        ctx.catalog.put(stmt.table, segmented)
+        ctx.catalog.put(stmt.table, segmented, prior_schema=prior_schema)
     elif full_rows:
         ctx.catalog.put(stmt.table, appended)
     else:

@@ -1,0 +1,87 @@
+"""The shared Engine: everything that outlives (and is shared by) any
+one connection.
+
+The original ``Database`` object conflated two lifetimes: storage,
+statistics, the kernel cache, and the metrics registry live as long as
+the data does, while session options, transaction state, and traces
+belong to one connection.  The serving layer (``repro.server``) needs
+that split — many concurrent :class:`~repro.engine.session.Session`
+objects over one :class:`Engine` — and ``Database`` remains as the
+thin one-session façade over the pair.
+
+Engine-level state and why it is engine-level:
+
+* ``catalog`` / ``statistics`` — the data itself and what the cost
+  model knows about it.
+* ``stats`` / ``metrics`` / ``workload`` — instrumentation is reported
+  per engine; the paper's overhead arguments are about total work, not
+  per-connection work.
+* ``kernel_cache`` — keyed by immutable column versions, so results
+  computed for one session are valid for every other.
+* ``plan_cache`` — compiled programs are immutable at run time; caching
+  them engine-wide is what amortizes Fig. 1's per-statement compile
+  storm across clients.
+* ``write_lock`` — DML/DDL serialization point.  Readers never take
+  it: they pin snapshots (:mod:`repro.storage.snapshot`) instead.
+
+This module must stay import-clean of session-scoped types: the
+``engine-layering`` lint rule (:mod:`repro.verify.lint`) rejects an
+Engine that stores or imports per-session state at module level.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Optional
+
+from ..execution import ExecutionStats, SessionOptions
+from ..obs import MetricsRegistry
+from ..plan.cache import PlanCache
+from ..stats import StatisticsCatalog
+from ..storage import Catalog
+from .workload import WorkloadManager
+
+
+class Engine:
+    """Shared, connection-independent half of the database."""
+
+    def __init__(self, options: Optional[SessionOptions] = None):
+        from ..execution.kernel_cache import KernelCache
+        self.catalog = Catalog()
+        self.stats = ExecutionStats()
+        # Template copied into every new session; sessions then diverge
+        # freely via set_option without affecting each other.
+        self.default_options = options or SessionOptions()
+        self.statistics = StatisticsCatalog(self.catalog)
+        self.kernel_cache = KernelCache(self.stats)
+        self.metrics = MetricsRegistry()
+        self.workload = WorkloadManager()
+        self.plan_cache = PlanCache(self.stats)
+        # Single-writer serialization: every DML/DDL statement (from any
+        # session) runs under this lock.  Reads are lock-free — snapshot
+        # pinning makes them consistent without blocking writers.
+        self.write_lock = threading.RLock()
+        self._session_ids = itertools.count(1)
+
+    def create_session(self, options: Optional[SessionOptions] = None):
+        """A new connection over this engine's shared state."""
+        # Function-level import: Session objects hold per-connection
+        # state, which the engine layer must not depend on structurally
+        # (see the engine-layering lint rule).
+        from .session import Session
+        return Session(self, options=options)
+
+    def next_session_id(self) -> int:
+        return next(self._session_ids)
+
+    def metrics_snapshot(self) -> dict:
+        """Current contents of the metrics registry plus the flat
+        execution counters ingested as gauges."""
+        self.metrics.ingest(self.stats.snapshot(), prefix="stats.")
+        return self.metrics.snapshot()
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+        self.workload.reset()
+        self.metrics.reset()

@@ -40,18 +40,29 @@ class TransactionStats:
 
 
 class TransactionManager:
-    """Tracks transaction state and a (single-session) lock table."""
+    """Tracks transaction state and a (single-session) lock table.
+
+    Also owns the session's *read snapshot* (a
+    :class:`~repro.storage.snapshot.SnapshotCatalog`): inside an
+    explicit transaction every read statement reuses the snapshot the
+    first read pinned, giving repeatable reads; the session's own
+    writes drop it (:meth:`note_write`) so the transaction reads its
+    own writes; in autocommit the statement boundary drops it, pinning
+    each statement at its own watermark.
+    """
 
     def __init__(self) -> None:
         self.state = TxnState.IDLE
         self.stats = TransactionStats()
         self._held_locks: dict[str, LockMode] = {}
+        self.snapshot = None
 
     def begin(self) -> None:
         if self.state is TxnState.ACTIVE:
             raise TransactionError("transaction already in progress")
         self.state = TxnState.ACTIVE
         self.stats.begun += 1
+        self.snapshot = None
 
     def commit(self) -> None:
         if self.state is not TxnState.ACTIVE:
@@ -59,6 +70,7 @@ class TransactionManager:
         self.state = TxnState.IDLE
         self.stats.committed += 1
         self._held_locks.clear()
+        self.snapshot = None
 
     def rollback(self) -> None:
         if self.state is not TxnState.ACTIVE:
@@ -66,6 +78,15 @@ class TransactionManager:
         self.state = TxnState.IDLE
         self.stats.rolled_back += 1
         self._held_locks.clear()
+        self.snapshot = None
+
+    def note_write(self) -> None:
+        """The session wrote: any pinned snapshot is stale for it now.
+
+        Dropping the snapshot (instead of patching it) is what makes a
+        transaction read its own writes — the next read statement pins a
+        fresh snapshot that includes them."""
+        self.snapshot = None
 
     def lock(self, table: str, mode: LockMode) -> None:
         """Record a lock acquisition (upgrade shared → exclusive)."""
@@ -85,3 +106,4 @@ class TransactionManager:
             if self._held_locks:
                 self.stats.implicit += 1
             self._held_locks.clear()
+            self.snapshot = None

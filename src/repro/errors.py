@@ -96,6 +96,24 @@ class TransactionError(ReproError):
     """Lock conflicts or invalid transaction state."""
 
 
+class AdmissionError(ReproError):
+    """The serving layer's bounded admission queue rejected a request.
+
+    Backpressure, not failure: the engine is saturated and the caller
+    should retry (or shed load).  Carries the configured queue depth and
+    the number of requests outstanding at rejection time so clients can
+    make an informed backoff decision.
+    """
+
+    def __init__(self, message: str, *, queue_depth: int,
+                 outstanding: int):
+        super().__init__(
+            f"{message} (queue depth {queue_depth}, "
+            f"{outstanding} outstanding)")
+        self.queue_depth = queue_depth
+        self.outstanding = outstanding
+
+
 class MppWorkerError(ExecutionError):
     """A distributed worker died or stalled mid-superstep.
 

@@ -85,6 +85,14 @@ class ExecutionStats:
     # Per-morsel partials produced by the two-phase grouped-aggregate
     # kernels (COUNT/SUM/AVG/MIN/MAX partial → final merge).
     morsel_agg_batches: int = 0
+    # Shared plan cache (repro.plan.cache): full hits skip parse→bind→
+    # rewrite→compile; shape hits saw the statement family before but
+    # with different constants (recompiled); invalidations are entries
+    # dropped because DDL bumped the catalog version underneath them.
+    plan_cache_hits: int = 0
+    plan_cache_shape_hits: int = 0
+    plan_cache_misses: int = 0
+    plan_cache_invalidations: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return dict(self.__dict__)
@@ -191,11 +199,30 @@ class SessionOptions:
     # REPRO_VERIFY=1) and off otherwise.
     enable_plan_verifier: bool = field(
         default_factory=_default_plan_verifier)
+    # Shared plan cache: reuse compiled programs across statements and
+    # sessions when the normalized statement, its literals, and every
+    # compile-relevant option match (see repro.plan.cache).  EXPLAIN
+    # variants always bypass the cache so their reports reflect a real
+    # compile.
+    enable_plan_cache: bool = True
     # Safety cap for runaway iterative queries.
     max_iterations: int = 100_000
 
     def copy(self) -> "SessionOptions":
         return SessionOptions(**self.__dict__)
+
+    # Options that cannot change the compiled program: tracing wraps the
+    # run, and the cache switch only decides whether lookups happen.
+    _NON_COMPILE_OPTIONS = ("enable_tracing", "enable_plan_cache")
+
+    def compile_fingerprint(self) -> tuple:
+        """Hashable identity of every option that can alter compilation.
+
+        Part of the plan-cache key: two sessions share a cached program
+        only when they would have compiled it identically."""
+        return tuple(
+            (name, value) for name, value in sorted(self.__dict__.items())
+            if name not in self._NON_COMPILE_OPTIONS)
 
 
 class ExecutionContext:

@@ -41,6 +41,7 @@ ANALYZE.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Optional, Sequence
 
@@ -214,10 +215,17 @@ class KernelCache:
 
     Entries are LRU-evicted; correctness never depends on residency
     because a column version is never reused (an eviction or invalidation
-    only costs a recompute)."""
+    only costs a recompute).
+
+    The cache is engine-level state shared by every session, so all map
+    mutations happen under one re-entrant lock (``join_index`` builds
+    dictionaries through ``dictionary`` while holding it).  Cached
+    payloads are immutable (read-only code arrays), so returning them
+    outside the lock is safe."""
 
     def __init__(self, stats=None, max_dictionaries: int = 256,
                  max_indexes: int = 64):
+        self._lock = threading.RLock()
         self._dictionaries: OrderedDict[int, ColumnDictionary] = \
             OrderedDict()
         self._indexes: OrderedDict[tuple[int, ...], JoinIndex] = \
@@ -235,53 +243,57 @@ class KernelCache:
     # -- per-column dictionaries -------------------------------------------
 
     def dictionary(self, column: Column) -> ColumnDictionary:
-        entry = self._dictionaries.get(column.version)
-        if entry is not None:
-            self._dictionaries.move_to_end(column.version)
+        with self._lock:
+            entry = self._dictionaries.get(column.version)
+            if entry is not None:
+                self._dictionaries.move_to_end(column.version)
+                if self.stats is not None:
+                    self.stats.kernel_cache_hits += 1
+                return entry
             if self.stats is not None:
-                self.stats.kernel_cache_hits += 1
+                self.stats.kernel_cache_misses += 1
+            entry = build_dictionary(column)
+            self._dictionaries[column.version] = entry
+            while len(self._dictionaries) > self._max_dictionaries:
+                self._dictionaries.popitem(last=False)
             return entry
-        if self.stats is not None:
-            self.stats.kernel_cache_misses += 1
-        entry = build_dictionary(column)
-        self._dictionaries[column.version] = entry
-        while len(self._dictionaries) > self._max_dictionaries:
-            self._dictionaries.popitem(last=False)
-        return entry
 
     # -- join build-side indexes -------------------------------------------
 
     def join_index(self, columns: Sequence[Column]) -> Optional[JoinIndex]:
         key = tuple(c.version for c in columns)
-        entry = self._indexes.get(key)
-        if entry is not None:
-            self._indexes.move_to_end(key)
+        with self._lock:
+            entry = self._indexes.get(key)
+            if entry is not None:
+                self._indexes.move_to_end(key)
+                if self.stats is not None:
+                    self.stats.join_index_hits += 1
+                return entry
             if self.stats is not None:
-                self.stats.join_index_hits += 1
+                self.stats.join_index_misses += 1
+            if key not in self._index_candidates:
+                # First sighting: loop-invariance unproven, let the
+                # caller use the one-shot joint encoding (see class
+                # docstring).
+                self._index_candidates[key] = True
+                while len(self._index_candidates) > 4 * self._max_indexes:
+                    self._index_candidates.popitem(last=False)
+                return None
+            entry = build_join_index(columns, self)
+            if entry is None:
+                # Mixed-radix overflow: the combined key cardinality does
+                # not fit int64, so the caller must fall back to one-shot
+                # joint encoding.  Counted so EXPLAIN ANALYZE can surface
+                # how often this silent fallback fires (ROADMAP:
+                # repack-on-overflow).
+                if self.stats is not None:
+                    self.stats.join_index_overflows += 1
+                return None
+            self._index_candidates.pop(key, None)
+            self._indexes[key] = entry
+            while len(self._indexes) > self._max_indexes:
+                self._indexes.popitem(last=False)
             return entry
-        if self.stats is not None:
-            self.stats.join_index_misses += 1
-        if key not in self._index_candidates:
-            # First sighting: loop-invariance unproven, let the caller use
-            # the one-shot joint encoding (see class docstring).
-            self._index_candidates[key] = True
-            while len(self._index_candidates) > 4 * self._max_indexes:
-                self._index_candidates.popitem(last=False)
-            return None
-        entry = build_join_index(columns, self)
-        if entry is None:
-            # Mixed-radix overflow: the combined key cardinality does not
-            # fit int64, so the caller must fall back to one-shot joint
-            # encoding.  Counted so EXPLAIN ANALYZE can surface how often
-            # this silent fallback fires (ROADMAP: repack-on-overflow).
-            if self.stats is not None:
-                self.stats.join_index_overflows += 1
-            return None
-        del self._index_candidates[key]
-        self._indexes[key] = entry
-        while len(self._indexes) > self._max_indexes:
-            self._indexes.popitem(last=False)
-        return entry
 
     # -- invalidation ------------------------------------------------------
 
@@ -289,16 +301,17 @@ class KernelCache:
         """Drop cached state derived from ``columns`` (DML hook)."""
         versions = {c.version for c in columns}
         dropped = 0
-        for version in versions:
-            if self._dictionaries.pop(version, None) is not None:
+        with self._lock:
+            for version in versions:
+                if self._dictionaries.pop(version, None) is not None:
+                    dropped += 1
+            for key in [k for k in self._indexes
+                        if any(v in versions for v in k)]:
+                del self._indexes[key]
                 dropped += 1
-        for key in [k for k in self._indexes
-                    if any(v in versions for v in k)]:
-            del self._indexes[key]
-            dropped += 1
-        for key in [k for k in self._index_candidates
-                    if any(v in versions for v in k)]:
-            del self._index_candidates[key]
+            for key in [k for k in self._index_candidates
+                        if any(v in versions for v in k)]:
+                del self._index_candidates[key]
         if dropped and self.stats is not None:
             self.stats.kernel_cache_invalidations += dropped
         return dropped
@@ -311,13 +324,15 @@ class KernelCache:
         return self.invalidate_columns(columns)
 
     def clear(self) -> None:
-        self._dictionaries.clear()
-        self._indexes.clear()
-        self._index_candidates.clear()
+        with self._lock:
+            self._dictionaries.clear()
+            self._indexes.clear()
+            self._index_candidates.clear()
 
     def nbytes(self) -> int:
-        return (sum(d.nbytes() for d in self._dictionaries.values())
-                + sum(i.nbytes() for i in self._indexes.values()))
+        with self._lock:
+            return (sum(d.nbytes() for d in self._dictionaries.values())
+                    + sum(i.nbytes() for i in self._indexes.values()))
 
 
 # ---------------------------------------------------------------------------

@@ -103,6 +103,43 @@ def _mpp_teardown(state: tuple) -> None:
     state[1].shutdown()
 
 
+def _serving_setup() -> tuple:
+    # Lazy import: the SQL-only gate paths never touch the server
+    # package (and its worker threads).
+    from ..server import serve
+    db = Database(SessionOptions())
+    load_graph(db, dblp_like(nodes=200, seed=23))
+    server = serve(db, workers=4, queue_depth=128)
+    clients = [server.connect() for _ in range(8)]
+    return server, clients
+
+
+def _serving_run(state: tuple) -> None:
+    """Mixed serving storm: 8 clients × 3 rounds of point reads, an
+    iterative SSSP, and a (no-op) DELETE taking the write path — the
+    timed window is admission + dispatch + execution for all of it."""
+    server, clients = state
+    iterate_sql = sssp_query(source=1, iterations=3)
+    futures = []
+    for round_no in range(3):
+        for i, client in enumerate(clients):
+            if i % 4 == 3:
+                futures.append(client.submit(
+                    "DELETE FROM edges WHERE src < 0"))
+            elif i % 4 == 2:
+                futures.append(client.submit(iterate_sql))
+            else:
+                futures.append(client.submit(
+                    f"SELECT COUNT(*) FROM edges "
+                    f"WHERE src > {round_no}"))
+    for future in futures:
+        future.result()
+
+
+def _serving_teardown(state: tuple) -> None:
+    state[0].shutdown()
+
+
 WORKLOADS = {
     workload.name: workload for workload in (
         Workload("sssp_delta", nodes=300, seed=7,
@@ -122,6 +159,14 @@ WORKLOADS = {
                  options={"mpp_workers": 2, "iterations": 5},
                  setup=_mpp_setup, run=_mpp_run,
                  teardown=_mpp_teardown),
+        # The serving layer under a mixed multi-client storm: 8
+        # sessions over one engine, per-session dispatch on 4 workers,
+        # shared plan cache on.  Gates scheduling + admission overhead.
+        Workload("serving_mixed", nodes=200, seed=23,
+                 options={"server_workers": 4, "clients": 8,
+                          "rounds": 3},
+                 setup=_serving_setup, run=_serving_run,
+                 teardown=_serving_teardown),
     )
 }
 

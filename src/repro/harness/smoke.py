@@ -3,8 +3,9 @@
 ``repro-smoke`` (see ``[project.scripts]`` in pyproject.toml) runs the
 same marker set as ``scripts/check_all_smoke.sh``: the bench,
 observability, delta-evaluation, lint, stored-procedure, trace-diff,
-perf-gate and MPP worker-pool guards, in one pytest invocation.  Pass
-``--only bench|obs|delta|lint|procedures|tracediff|perf|mpp`` to run a
+perf-gate, MPP worker-pool and serving-layer guards, in one pytest
+invocation.  Pass ``--only
+bench|obs|delta|lint|procedures|tracediff|perf|mpp|serving`` to run a
 single guard, plus any extra pytest arguments after ``--``.
 
 ``_MARKERS`` is the source of truth for the guard list; a sync test
@@ -27,6 +28,7 @@ _MARKERS = {
     "tracediff": "tracediff_smoke",
     "perf": "perf_smoke",
     "mpp": "mpp_smoke",
+    "serving": "serving_smoke",
 }
 
 
@@ -41,7 +43,8 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-smoke",
         description="Run the tier-1 smoke guards (bench + obs + delta "
-                    "+ lint + procedures + tracediff + perf + mpp).")
+                    "+ lint + procedures + tracediff + perf + mpp "
+                    "+ serving).")
     parser.add_argument("--only", choices=sorted(_MARKERS),
                         help="run a single guard instead of all of them")
     parser.add_argument("pytest_args", nargs="*",

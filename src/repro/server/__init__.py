@@ -1,0 +1,10 @@
+"""In-process multi-client serving layer (see repro.server.service)."""
+
+from .service import DatabaseServer, ServerClient, ServerStats, serve
+
+__all__ = [
+    "DatabaseServer",
+    "ServerClient",
+    "ServerStats",
+    "serve",
+]

@@ -1,0 +1,294 @@
+"""In-process serving front end over a shared Engine.
+
+The paper's Fig. 1 middleware storm is a *client-side* pattern: many
+connections each replaying parse → compile → execute round-trips.  To
+measure (and amortize) that storm honestly, the repro needs a serving
+layer where concurrent clients actually contend for one engine —
+that is this module.
+
+Architecture:
+
+* :class:`DatabaseServer` owns the :class:`~repro.engine.engine.Engine`
+  and a fixed pool of worker threads.
+* Each :class:`ServerClient` (from :meth:`DatabaseServer.connect`) has
+  its own :class:`~repro.engine.session.Session` and a FIFO of pending
+  requests.  **Dispatch is per-session**: a session runs at most one
+  statement at a time (preserving transaction and snapshot semantics),
+  but different sessions run on different workers concurrently.
+  Workers never block on a busy session — the ready queue holds only
+  sessions with runnable work, so a slow iterative query on one
+  connection cannot stall another connection's point reads.
+* **Admission control** bounds the number of requests inside the
+  server (queued + running) across all clients.  A submit over the
+  bound fails fast with a structured
+  :class:`~repro.errors.AdmissionError` instead of growing an unbounded
+  queue — backpressure the caller can see and retry on.
+* **Tracing**: with ``trace=True`` the server keeps one
+  :class:`~repro.obs.trace.Tracer`; every request executes under a
+  per-request :class:`~repro.obs.trace.ContextTracer` whose spans are
+  merged back under a lock, so the server trace shows each session's
+  statements (parse/compile/execute phases included) grafted onto the
+  request that ran them.
+
+Everything is in-process: "client" and "server" share one Python
+process, which keeps the measured overheads about scheduling and
+compile amortization rather than socket serialization.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..engine.database import Database
+from ..engine.engine import Engine
+from ..engine.session import QueryResult
+from ..errors import AdmissionError, ReproError
+from ..execution import SessionOptions
+from ..obs import ContextTracer, Trace, Tracer, build_trace
+
+
+@dataclass
+class ServerStats:
+    """Serving-layer counters (engine counters live on the engine)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    peak_outstanding: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+class _Request:
+    __slots__ = ("sql", "future", "context")
+
+    def __init__(self, sql, future: Future, context):
+        self.sql = sql
+        self.future = future
+        self.context = context
+
+
+class ServerClient:
+    """One client connection: a session plus its pending-request FIFO.
+
+    Obtained from :meth:`DatabaseServer.connect`.  ``submit`` enqueues
+    and returns a :class:`~concurrent.futures.Future`; ``execute``
+    blocks for the result.  Requests of one client run strictly in
+    submission order, one at a time, on the server's worker pool.
+    """
+
+    def __init__(self, server: "DatabaseServer",
+                 options: Optional[SessionOptions] = None):
+        self._server = server
+        self.session = server.engine.create_session(options=options)
+        self._pending: deque[_Request] = deque()
+        self._in_flight = False
+        self._closed = False
+
+    # -- client API --------------------------------------------------------
+
+    def submit(self, sql) -> "Future[QueryResult]":
+        """Enqueue one statement; resolves to its QueryResult.
+
+        Raises :class:`AdmissionError` immediately when the server's
+        admission bound is reached — the request was never queued."""
+        return self._server._submit(self, sql)
+
+    def execute(self, sql) -> QueryResult:
+        """Submit and wait; the blocking convenience wrapper."""
+        return self.submit(sql).result()
+
+    def close(self) -> None:
+        """Stop accepting submissions on this client.
+
+        Already-queued requests still run (draining preserves the
+        session's statement order)."""
+        self._closed = True
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class DatabaseServer:
+    """Thread-pool front end dispatching per-session over one Engine."""
+
+    def __init__(self, engine: Optional[Engine] = None, *,
+                 workers: int = 4, queue_depth: int = 32,
+                 trace: bool = False,
+                 options: Optional[SessionOptions] = None):
+        if queue_depth < 1:
+            raise ReproError("queue_depth must be at least 1")
+        if workers < 1:
+            raise ReproError("workers must be at least 1")
+        self.engine = engine if engine is not None else Engine(options)
+        self.queue_depth = queue_depth
+        self.stats = ServerStats()
+        self.tracer: Optional[Tracer] = \
+            Tracer("server") if trace else None
+        self._trace_lock = threading.Lock()
+        # Guards admission state and every client's pending/in-flight
+        # flags; the ready queue holds only clients with runnable work.
+        self._lock = threading.Lock()
+        self._outstanding = 0
+        self._ready: "queue.Queue[Optional[ServerClient]]" = queue.Queue()
+        self._shutdown = False
+        self._workers = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"repro-server-{i}", daemon=True)
+            for i in range(workers)]
+        for thread in self._workers:
+            thread.start()
+
+    # -- connections -------------------------------------------------------
+
+    def connect(self, options: Optional[SessionOptions] = None
+                ) -> ServerClient:
+        """Open a new client connection (its own Session)."""
+        if self._shutdown:
+            raise ReproError("server is shut down")
+        return ServerClient(self, options=options)
+
+    # -- submission / admission -------------------------------------------
+
+    def _submit(self, client: ServerClient, sql) -> Future:
+        with self._lock:
+            if self._shutdown or client._closed:
+                raise ReproError("connection is closed")
+            if self._outstanding >= self.queue_depth:
+                self.stats.rejected += 1
+                raise AdmissionError(
+                    "admission queue full",
+                    queue_depth=self.queue_depth,
+                    outstanding=self._outstanding)
+            self._outstanding += 1
+            self.stats.submitted += 1
+            self.stats.peak_outstanding = max(
+                self.stats.peak_outstanding, self._outstanding)
+            context = self._capture_context(client, sql)
+            request = _Request(sql, Future(), context)
+            client._pending.append(request)
+            if not client._in_flight:
+                client._in_flight = True
+                self._ready.put(client)
+        return request.future
+
+    def _capture_context(self, client: ServerClient, sql):
+        """Pin a merge point for this request's spans (trace mode)."""
+        if self.tracer is None:
+            return None
+        with self._trace_lock:
+            return self.tracer.context()
+
+    # -- worker side -------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            client = self._ready.get()
+            if client is None:
+                break
+            with self._lock:
+                request = client._pending.popleft()
+            try:
+                result = self._run(client, request)
+            except BaseException as exc:  # propagate to the waiter
+                self.stats.failed += 1
+                request.future.set_exception(exc)
+            else:
+                self.stats.completed += 1
+                request.future.set_result(result)
+            with self._lock:
+                self._outstanding -= 1
+                if client._pending:
+                    self._ready.put(client)
+                else:
+                    client._in_flight = False
+
+    def _run(self, client: ServerClient, request: _Request) -> QueryResult:
+        session = client.session
+        if request.context is None:
+            return session.execute(request.sql)
+        worker_tracer = ContextTracer(request.context)
+        try:
+            with worker_tracer.span(
+                    "request", kind="session",
+                    session=session.session_id,
+                    sql=request.sql if isinstance(request.sql, str)
+                    else type(request.sql).__name__):
+                return session.execute(request.sql, tracer=worker_tracer)
+        finally:
+            spans = worker_tracer.export_spans()
+            with self._trace_lock:
+                self.tracer.merge(request.context, spans)
+
+    # -- lifecycle / introspection ----------------------------------------
+
+    def drain(self) -> None:
+        """Block until every queued request has completed."""
+        while True:
+            with self._lock:
+                if self._outstanding == 0:
+                    return
+            threading.Event().wait(0.001)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Reject new submissions; optionally wait for queued work."""
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+        if wait:
+            self.drain()
+        for _ in self._workers:
+            self._ready.put(None)
+        for thread in self._workers:
+            thread.join()
+
+    def trace(self) -> Trace:
+        """Freeze and return the server-side trace (trace mode only)."""
+        if self.tracer is None:
+            raise ReproError(
+                "server tracing is off: construct with trace=True")
+        with self._trace_lock:
+            return build_trace(self.tracer)
+
+    def metrics_snapshot(self) -> dict:
+        """Engine metrics plus the serving-layer counters as gauges."""
+        self.engine.metrics.ingest(self.stats.snapshot(),
+                                   prefix="server.")
+        return self.engine.metrics_snapshot()
+
+    def __enter__(self) -> "DatabaseServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+def serve(engine: Union[Engine, Database, None] = None, *,
+          workers: int = 4, queue_depth: int = 32, trace: bool = False,
+          options: Optional[SessionOptions] = None) -> DatabaseServer:
+    """Start an in-process server over ``engine``.
+
+    Accepts an :class:`Engine`, a :class:`Database` (its engine is
+    served — handy for loading data through the embedded façade first),
+    or ``None`` for a fresh engine.  Use as a context manager::
+
+        with serve(db, workers=4) as server:
+            with server.connect() as client:
+                client.execute("SELECT ...")
+    """
+    if isinstance(engine, Database):
+        engine = engine.engine
+    return DatabaseServer(engine, workers=workers,
+                          queue_depth=queue_depth, trace=trace,
+                          options=options)

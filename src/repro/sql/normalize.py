@@ -1,0 +1,104 @@
+"""Statement normalization for the shared plan cache.
+
+The paper's Fig. 1 storm pays parse → bind → rewrite → compile once *per
+statement per client* even though the clients replay a handful of
+statement *shapes* with different constants.  The plan cache
+(:mod:`repro.plan.cache`) amortizes that cost across sessions, and this
+module supplies its key: a canonical *shape string* for a parsed
+statement in which every literal is replaced by a ``?`` placeholder,
+plus the literal values in traversal order.
+
+Two statements that differ only in literals (``... WHERE age > 30`` vs
+``... WHERE age > 40``) share a shape; two that differ structurally
+never do.  Identifier case and insignificant whitespace are already
+erased by the time an AST exists, so ``SELECT  X FROM T`` and
+``select x from t`` normalize identically.
+
+The walk is purely structural — dataclass field order over the AST node
+classes of :mod:`repro.sql.ast` — so it needs no per-node-type code and
+cannot drift when new clauses are added: an unknown object is rendered
+through ``repr`` and simply makes the shape more specific.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Any
+
+from . import ast
+
+
+@dataclass(frozen=True)
+class NormalizedStatement:
+    """A statement's plan-cache identity.
+
+    ``shape`` is the canonical parameterized form (hashable string);
+    ``literals`` are the constants stripped out of it, in a fixed
+    pre-order traversal order, so ``(shape, literals)`` identifies the
+    exact statement while ``shape`` alone identifies its family.
+    """
+
+    shape: str
+    literals: tuple
+
+    @property
+    def parameter_count(self) -> int:
+        return len(self.literals)
+
+
+def normalize_statement(statement: ast.Statement) -> NormalizedStatement:
+    """Canonical ``(shape, literals)`` form of a parsed statement."""
+    pieces: list[str] = []
+    literals: list[Any] = []
+    _emit(statement, pieces, literals)
+    return NormalizedStatement("".join(pieces), tuple(literals))
+
+
+def statement_shape(statement: ast.Statement) -> str:
+    """Just the shape string (convenience for diagnostics)."""
+    return normalize_statement(statement).shape
+
+
+def _emit(node: Any, pieces: list[str], literals: list[Any]) -> None:
+    """Append ``node``'s canonical rendering to ``pieces``.
+
+    Literals contribute a placeholder and push their value; every other
+    node contributes its structure.  Strings are lowered because the
+    engine resolves identifiers case-insensitively (literal *values*
+    never take this path — they are captured before the generic walk).
+    """
+    if isinstance(node, ast.Literal):
+        pieces.append("?")
+        literals.append(node.value)
+        return
+    if node is None:
+        pieces.append("~")
+        return
+    if isinstance(node, enum.Enum):
+        pieces.append(f"<{type(node).__name__}.{node.name}>")
+        return
+    if isinstance(node, str):
+        pieces.append(f"'{node.lower()}'")
+        return
+    if isinstance(node, (bool, int, float)):
+        pieces.append(repr(node))
+        return
+    if isinstance(node, (list, tuple)):
+        pieces.append("[")
+        for item in node:
+            _emit(item, pieces, literals)
+            pieces.append(",")
+        pieces.append("]")
+        return
+    if is_dataclass(node):
+        pieces.append(f"{type(node).__name__}(")
+        for field in fields(node):
+            _emit(getattr(node, field.name), pieces, literals)
+            pieces.append(",")
+        pieces.append(")")
+        return
+    # Unknown object (future AST node without dataclass decoration):
+    # fall back to repr — over-specific shapes are safe, merged shapes
+    # are not.
+    pieces.append(repr(node))

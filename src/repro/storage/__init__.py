@@ -3,6 +3,7 @@
 from .catalog import Catalog, CatalogStats, ResultRegistry
 from .column import Column
 from .segmented import SegmentedTable
+from .snapshot import SnapshotCatalog
 from .table import ColumnSchema, Schema, Table, pretty_table
 
 __all__ = [
@@ -13,6 +14,7 @@ __all__ = [
     "ColumnSchema",
     "Schema",
     "SegmentedTable",
+    "SnapshotCatalog",
     "Table",
     "pretty_table",
 ]

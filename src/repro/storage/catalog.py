@@ -39,12 +39,24 @@ class CatalogStats:
         }
 
 
+def _schema_signature(schema: Schema) -> tuple:
+    """Column names/types — what a compiled plan bakes in."""
+    return tuple((c.name, c.sql_type) for c in schema.columns)
+
+
 class Catalog:
-    """Named base tables, as created by ``CREATE TABLE``."""
+    """Named base tables, as created by ``CREATE TABLE``.
+
+    ``version`` increments on every change a compiled plan could have
+    baked in: table creation, drops, and content replacement that
+    changes a table's schema signature (a type-widening INSERT).  The
+    shared plan cache (:mod:`repro.plan.cache`) keys its entries on it.
+    """
 
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
         self.stats = CatalogStats()
+        self.version = 0
 
     def create(self, name: str, schema: Schema,
                if_not_exists: bool = False) -> None:
@@ -55,6 +67,7 @@ class Catalog:
             raise CatalogError(f"table {name!r} already exists")
         self._tables[key] = Table.empty(schema)
         self.stats.tables_created += 1
+        self.version += 1
 
     def drop(self, name: str, if_exists: bool = False) -> None:
         key = name.lower()
@@ -64,6 +77,7 @@ class Catalog:
             raise CatalogError(f"no such table: {name!r}")
         del self._tables[key]
         self.stats.tables_dropped += 1
+        self.version += 1
 
     def get(self, name: str) -> Table:
         self.stats.lookups += 1
@@ -72,11 +86,23 @@ class Catalog:
         except KeyError:
             raise CatalogError(f"no such table: {name!r}") from None
 
-    def put(self, name: str, table: Table) -> None:
-        """Replace the contents of an existing table (used by DML)."""
+    def put(self, name: str, table: Table,
+            prior_schema: Schema | None = None) -> None:
+        """Replace the contents of an existing table (used by DML).
+
+        Content replacement alone leaves ``version`` untouched — cached
+        plans reference tables by name, not by object — but a schema
+        change (a widening INSERT) invalidates plans that baked in the
+        old column types.  ``prior_schema`` supports in-place appenders
+        (a SegmentedTable widened before this call *is* the stored
+        object, so the stored schema is already the new one)."""
         key = name.lower()
         if key not in self._tables:
             raise CatalogError(f"no such table: {name!r}")
+        before = prior_schema if prior_schema is not None \
+            else self._tables[key].schema
+        if _schema_signature(before) != _schema_signature(table.schema):
+            self.version += 1
         self._tables[key] = table
 
     def register(self, name: str, table: Table) -> None:
@@ -86,6 +112,7 @@ class Catalog:
             raise CatalogError(f"table {name!r} already exists")
         self._tables[key] = table
         self.stats.tables_created += 1
+        self.version += 1
 
     def exists(self, name: str) -> bool:
         return name.lower() in self._tables

@@ -11,6 +11,8 @@ to iterate segments without consolidating.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from ..errors import TypeCheckError
@@ -42,6 +44,11 @@ class SegmentedTable(Table):
         # and how many rows those rebuilds copied.
         self.consolidations = 0
         self.rows_consolidated = 0
+        # Serializes structural mutation (append, consolidation) against
+        # snapshot capture: concurrent server sessions pin read snapshots
+        # while writer sessions append, and without the lock a reader's
+        # consolidation could drop a segment appended mid-rebuild.
+        self._lock = threading.RLock()
 
     @classmethod
     def wrap(cls, table: Table) -> "SegmentedTable":
@@ -64,12 +71,14 @@ class SegmentedTable(Table):
                 f"{len(delta.schema)}")
         if delta.num_rows == 0:
             return
-        self.schema = Schema(
-            tuple(ColumnSchema(s.name, common_type(s.sql_type, c.sql_type))
-                  for s, c in zip(self.schema.columns, delta.columns)),
-            self.schema.primary_key)
-        self._segments.append(delta)
-        self._flat = None
+        with self._lock:
+            self.schema = Schema(
+                tuple(ColumnSchema(s.name,
+                                   common_type(s.sql_type, c.sql_type))
+                      for s, c in zip(self.schema.columns, delta.columns)),
+                self.schema.primary_key)
+            self._segments.append(delta)
+            self._flat = None
 
     @property
     def segment_count(self) -> int:
@@ -111,9 +120,27 @@ class SegmentedTable(Table):
 
     @property
     def columns(self) -> list[Column]:
-        if self._flat is None:
-            self._consolidate()
-        return self._flat.columns
+        flat = self._flat
+        if flat is None:
+            with self._lock:
+                self._consolidate()
+                flat = self._flat
+        return flat.columns
+
+    def snapshot(self) -> Table:
+        """A consistent, immutable view of the current contents.
+
+        This is the serving layer's snapshot-read primitive: the returned
+        plain :class:`Table` is never mutated again — later ``append``
+        calls replace ``_flat`` on *this* object but cannot touch the
+        consolidated table a reader pinned, so a scan running in one
+        session can never be torn by DML appends in another.  The row
+        count of the returned table is the reader's segment watermark.
+        """
+        with self._lock:
+            if self._flat is None:
+                self._consolidate()
+            return self._flat
 
     def _consolidate(self) -> None:
         """Rebuild contiguous columns with one allocation per column.
@@ -123,7 +150,11 @@ class SegmentedTable(Table):
         into a preallocated typed ndarray — no intermediate concat column,
         no post-hoc cast of the merged vector.  Segments whose stored type
         lags the widened schema are cast individually (O(|segment|)).
+        Idempotent under the lock: a second caller that raced the first
+        to the ``_flat is None`` check finds the work already done.
         """
+        if self._flat is not None:
+            return
         segments = self._segments
         total = sum(seg.num_rows for seg in segments)
         columns = []

@@ -1,0 +1,94 @@
+"""Snapshot-isolated catalog views for concurrent sessions.
+
+The engine's storage is effectively multi-version for free: UPDATE and
+DELETE *replace* a table object in the catalog (the old object is
+untouched), and INSERT appends immutable segments to a
+:class:`~repro.storage.segmented.SegmentedTable`.  A reader therefore
+gets snapshot isolation by pinning, per table, either
+
+* the consolidated flat :class:`~repro.storage.table.Table` behind a
+  SegmentedTable (:meth:`SegmentedTable.snapshot`), whose row count is
+  the reader's *segment watermark* — later appends land in segments the
+  pinned table does not reference; or
+* the current table object itself, when it is a plain Table — replaced
+  wholesale by writers, never mutated.
+
+:class:`SnapshotCatalog` wraps the shared :class:`Catalog` and performs
+that pinning lazily on first access, so a statement only pins the
+tables it actually reads.  Once pinned, a name always resolves to the
+same object for the lifetime of the snapshot — a self-join, or a query
+that scans a table twice, can never observe two different versions.
+
+Lifecycle (managed by :class:`repro.engine.session.Session`): one
+snapshot per read statement in autocommit, one per transaction inside
+BEGIN/COMMIT (dropped on the session's own writes so it reads its own
+writes).  Metadata mutation (CREATE/DROP) is not snapshotted — DDL
+takes the engine write lock and is serialized against everything.
+"""
+
+from __future__ import annotations
+
+from .catalog import Catalog, CatalogStats
+from .segmented import SegmentedTable
+from .table import Table
+
+
+class SnapshotCatalog:
+    """A read view of a :class:`Catalog` pinned at first access.
+
+    Duck-types the Catalog surface the execution layer touches
+    (``get``/``peek``/``exists``/``table_names``/``stats``).  Write
+    methods are deliberately absent: DML/DDL statements run against the
+    base catalog under the engine write lock, never through a snapshot.
+    """
+
+    def __init__(self, base: Catalog):
+        self._base = base
+        self._pinned: dict[str, Table] = {}
+        # Pinned at creation so plan-cache validity checks agree with
+        # what this snapshot can see.
+        self.catalog_version = base.version
+
+    # -- pinning -----------------------------------------------------------
+
+    def _pin(self, key: str, table: Table) -> Table:
+        snap = table.snapshot() if isinstance(table, SegmentedTable) \
+            else table
+        self._pinned[key] = snap
+        return snap
+
+    def watermarks(self) -> dict[str, int]:
+        """Row-count watermark of every pinned table (diagnostics and
+        the concurrency stress harness's replay verification)."""
+        return {name: table.num_rows
+                for name, table in self._pinned.items()}
+
+    # -- Catalog surface ---------------------------------------------------
+
+    @property
+    def stats(self) -> CatalogStats:
+        return self._base.stats
+
+    def get(self, name: str) -> Table:
+        key = name.lower()
+        pinned = self._pinned.get(key)
+        if pinned is not None:
+            self._base.stats.lookups += 1
+            return pinned
+        return self._pin(key, self._base.get(name))
+
+    def peek(self, name: str) -> Table | None:
+        key = name.lower()
+        pinned = self._pinned.get(key)
+        if pinned is not None:
+            return pinned
+        table = self._base.peek(name)
+        if table is None:
+            return None
+        return self._pin(key, table)
+
+    def exists(self, name: str) -> bool:
+        return name.lower() in self._pinned or self._base.exists(name)
+
+    def table_names(self) -> list[str]:
+        return self._base.table_names()

@@ -1,7 +1,7 @@
 """Engine lint: AST-based repo-specific rules (the ``repro-lint`` CLI).
 
-Four rule families, each encoding a convention the runtime refactor
-(unified loop runtime, PR 4) established but nothing enforced:
+Five rule families, each encoding a convention a refactor established
+but nothing enforced:
 
 * **handler-coverage** — every ``Step`` subclass declared in
   :mod:`repro.plan.program` has a ``@handles(...)`` registration in
@@ -22,6 +22,13 @@ Four rule families, each encoding a convention the runtime refactor
   ``enabled``/``is not None`` guard so the untraced hot path never pays
   for span objects (``NULL_TRACER`` short-circuits ``span()`` but a bare
   unguarded ``start`` defeats the null-object pattern).
+* **engine-layering** — the Engine/Session split (PR 9) flows strictly
+  downward: the shared :class:`~repro.engine.engine.Engine` must not
+  store session-scoped state (a registry, transaction manager, tracer,
+  pinned snapshot, ...) on itself, nor import the session module at
+  module level.  Session state reachable from the engine would be
+  silently shared across connections — exactly the aliasing bug class
+  the split exists to make impossible.
 
 Run as ``repro-lint`` (see ``[project.scripts]``) or
 ``python -m repro.verify.lint``; exits non-zero on any finding.
@@ -45,10 +52,28 @@ _PACKAGE_ROOT = Path(__file__).resolve().parents[1]  # src/repro
 _TRACER_BUILDERS = (
     "obs/",
     "engine/database.py",
+    "engine/session.py",
     "middleware/driver.py",
     "procedures/runner.py",
     "mpp/workers.py",
+    "server/",
 )
+
+# Attribute names that are session-scoped by design: finding the Engine
+# storing one of these on itself means per-connection state has leaked
+# into the shared layer.
+_SESSION_SCOPED_ATTRS = frozenset({
+    "session",
+    "sessions",
+    "registry",
+    "transactions",
+    "tracer",
+    "last_trace",
+    "_last_trace",
+    "_trace_loops",
+    "last_snapshot",
+    "snapshot",
+})
 
 # The compat shims re-export the deprecated names on purpose.
 _DEPRECATED_IMPORT_EXEMPT = (
@@ -270,6 +295,43 @@ class Linter:
             cursor = parents.get(cursor)
         return False
 
+    # -- rule 5: engine layering -------------------------------------------
+
+    def check_engine_layering(self) -> None:
+        """The shared Engine must not hold (or structurally depend on)
+        session-scoped state — see the module docstring."""
+        for path, module in self._trees.items():
+            if self._rel(path) != "engine/engine.py":
+                continue
+            for node in module.body:
+                if isinstance(node, ast.ImportFrom) and (
+                        (node.module or "").split(".")[-1] == "session"):
+                    self._note(path, node.lineno, "engine-layering",
+                               "module-level import of the session "
+                               "module from the engine: the dependency "
+                               "must flow session → engine only (use a "
+                               "function-level import)")
+            for node in ast.walk(module):
+                if not isinstance(node, ast.ClassDef) \
+                        or node.name != "Engine":
+                    continue
+                for inner in ast.walk(node):
+                    if not isinstance(inner, (ast.Assign, ast.AnnAssign)):
+                        continue
+                    targets = inner.targets if isinstance(
+                        inner, ast.Assign) else [inner.target]
+                    for target in targets:
+                        if isinstance(target, ast.Attribute) \
+                                and isinstance(target.value, ast.Name) \
+                                and target.value.id == "self" \
+                                and target.attr in _SESSION_SCOPED_ATTRS:
+                            self._note(
+                                path, inner.lineno, "engine-layering",
+                                f"Engine stores session-scoped state "
+                                f"self.{target.attr}; per-connection "
+                                "state belongs on Session, never on "
+                                "the shared Engine")
+
     # -- entry point -------------------------------------------------------
 
     def run(self) -> list[LintIssue]:
@@ -277,6 +339,7 @@ class Linter:
         self.check_mutation_api()
         self.check_deprecated_imports()
         self.check_tracer_discipline()
+        self.check_engine_layering()
         return self.issues
 
     @property
@@ -293,7 +356,8 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description="AST-based engine lint (handler coverage, mutation "
-                    "API, deprecated imports, tracer discipline).")
+                    "API, deprecated imports, tracer discipline, "
+                    "engine layering).")
     parser.add_argument("--root", type=Path, default=None,
                         help="package root to lint (default: the "
                              "installed repro package)")
@@ -307,7 +371,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(f"repro-lint: {len(issues)} issue(s) in "
               f"{linter.file_count} files")
         return 1
-    print(f"repro-lint: ok ({linter.file_count} files, 4 rule families)")
+    print(f"repro-lint: ok ({linter.file_count} files, 5 rule families)")
     return 0
 
 

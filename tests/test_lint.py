@@ -150,6 +150,54 @@ class TestSeededViolations:
             """
         assert run_lint(_tree(tmp_path, files)) == []
 
+    def test_engine_session_state_detected(self, tmp_path):
+        files = dict(_CLEAN)
+        files["engine/engine.py"] = """
+            class Engine:
+                def __init__(self):
+                    self.catalog = object()
+                    self.transactions = object()
+            """
+        issues = run_lint(_tree(tmp_path, files))
+        assert _rules(issues) == {"engine-layering"}
+        assert any("self.transactions" in i.message for i in issues)
+
+    def test_engine_module_level_session_import_detected(self, tmp_path):
+        files = dict(_CLEAN)
+        files["engine/engine.py"] = """
+            from .session import Session
+
+            class Engine:
+                def __init__(self):
+                    self.catalog = object()
+            """
+        issues = run_lint(_tree(tmp_path, files))
+        assert _rules(issues) == {"engine-layering"}
+        assert any("session → engine" in i.message for i in issues)
+
+    def test_engine_function_level_import_is_clean(self, tmp_path):
+        files = dict(_CLEAN)
+        files["engine/engine.py"] = """
+            class Engine:
+                def __init__(self):
+                    self.catalog = object()
+
+                def create_session(self):
+                    from .session import Session
+                    return Session(self)
+            """
+        assert run_lint(_tree(tmp_path, files)) == []
+
+    def test_session_scoped_names_allowed_outside_engine(self, tmp_path):
+        files = dict(_CLEAN)
+        files["engine/session.py"] = """
+            class Session:
+                def __init__(self, engine):
+                    self.transactions = object()
+                    self.registry = object()
+            """
+        assert run_lint(_tree(tmp_path, files)) == []
+
     def test_syntax_error_reported_not_crashed(self, tmp_path):
         files = dict(_CLEAN)
         files["broken.py"] = "def nope(:\n"
