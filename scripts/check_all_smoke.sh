@@ -13,6 +13,7 @@
 #   perf       scripts/check_perf_gate.sh     perf ledger + regression gate
 #   mpp        scripts/check_mpp_smoke.sh     2-worker shared-nothing parity
 #   serving    scripts/check_serving_smoke.sh multi-session server + snapshots
+#   racecheck  scripts/check_racecheck_smoke.sh lock discipline + lockset races
 #
 # Usage: scripts/check_all_smoke.sh [extra pytest args...]
 set -euo pipefail
@@ -52,6 +53,9 @@ run_pytest_guard perf perf_smoke "$@"
 run_guard perf-gate-cli scripts/check_perf_gate.sh
 run_pytest_guard mpp mpp_smoke "$@"
 run_pytest_guard serving serving_smoke "$@"
+run_pytest_guard racecheck racecheck_smoke "$@"
+run_guard repro-racecheck env PYTHONPATH=src \
+    python -m repro.verify.concurrency.cli
 
 if [ -n "$failed" ]; then
     echo "smoke: FAILED guards:$failed" >&2

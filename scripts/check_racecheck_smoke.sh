@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Tier-1 racecheck smoke: the concurrency safety net in both prongs.
+# First the static lock-discipline pass over the real tree (must be
+# clean: the guard map declares every lock-held context, so any finding
+# is a regression), then the racecheck_smoke pytest subset — the seeded
+# mutation harness (every violation class caught with file/line
+# attribution) and the dynamic lockset detector re-finding the
+# KernelCache race when its lock is knocked out.
+#
+# Usage: scripts/check_racecheck_smoke.sh [extra pytest args...]
+set -eu
+
+cd "$(dirname "$0")/.."
+PYTHONPATH=src python -m repro.verify.concurrency.cli
+PYTHONPATH=src exec python -m pytest -m racecheck_smoke -q "$@"

@@ -140,6 +140,23 @@ def _serving_teardown(state: tuple) -> None:
     state[0].shutdown()
 
 
+def _racecheck_setup() -> object:
+    # Lazy import: gate paths that never time the checker never load it.
+    from ..verify.concurrency import static
+    return static
+
+
+def _racecheck_run(static_mod) -> None:
+    """Full static lock-discipline pass over the installed package —
+    the tree-wide cost CI pays on every push, so a slow rule regresses
+    the ledger, not just developer patience."""
+    issues = static_mod.run_static()
+    if issues:  # pragma: no cover - a dirty tree invalidates the timing
+        raise RuntimeError(
+            f"static pass found {len(issues)} issue(s); timing a "
+            "failing run is meaningless")
+
+
 WORKLOADS = {
     workload.name: workload for workload in (
         Workload("sssp_delta", nodes=300, seed=7,
@@ -167,6 +184,12 @@ WORKLOADS = {
                           "rounds": 3},
                  setup=_serving_setup, run=_serving_run,
                  teardown=_serving_teardown),
+        # The static lock-discipline pass over the whole package — the
+        # checker is itself gated tooling, so a quadratic rule or a
+        # guard-map explosion shows up as a ledger regression.
+        Workload("racecheck_static", nodes=0, seed=0,
+                 options={"tool": "racecheck_static"},
+                 setup=_racecheck_setup, run=_racecheck_run),
     )
 }
 

@@ -3,10 +3,10 @@
 ``repro-smoke`` (see ``[project.scripts]`` in pyproject.toml) runs the
 same marker set as ``scripts/check_all_smoke.sh``: the bench,
 observability, delta-evaluation, lint, stored-procedure, trace-diff,
-perf-gate, MPP worker-pool and serving-layer guards, in one pytest
-invocation.  Pass ``--only
-bench|obs|delta|lint|procedures|tracediff|perf|mpp|serving`` to run a
-single guard, plus any extra pytest arguments after ``--``.
+perf-gate, MPP worker-pool, serving-layer and racecheck guards, in one
+pytest invocation.  Pass ``--only
+bench|obs|delta|lint|procedures|tracediff|perf|mpp|serving|racecheck``
+to run a single guard, plus any extra pytest arguments after ``--``.
 
 ``_MARKERS`` is the source of truth for the guard list; a sync test
 (``tests/test_smoke_sync.py``) asserts ``scripts/check_all_smoke.sh``
@@ -29,6 +29,7 @@ _MARKERS = {
     "perf": "perf_smoke",
     "mpp": "mpp_smoke",
     "serving": "serving_smoke",
+    "racecheck": "racecheck_smoke",
 }
 
 
@@ -44,7 +45,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         prog="repro-smoke",
         description="Run the tier-1 smoke guards (bench + obs + delta "
                     "+ lint + procedures + tracediff + perf + mpp "
-                    "+ serving).")
+                    "+ serving + racecheck).")
     parser.add_argument("--only", choices=sorted(_MARKERS),
                         help="run a single guard instead of all of them")
     parser.add_argument("pytest_args", nargs="*",

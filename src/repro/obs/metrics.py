@@ -22,6 +22,7 @@ next to ``statement_seconds``.
 
 from __future__ import annotations
 
+import threading
 from typing import Mapping, Optional
 
 
@@ -87,49 +88,67 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Named metrics, created on first touch."""
+    """Named metrics, created on first touch.
+
+    The registry is engine-level state shared by every server session,
+    so its name->instrument maps mutate only under ``_lock`` (re-entrant:
+    ``ingest`` creates gauges through ``gauge``).  The instruments
+    themselves stay lock-free — callers that cache a ``Counter`` pay
+    nothing for the registry lock, and a concurrently torn histogram
+    update skews instrumentation, never a query result (the same
+    tolerated-lossy policy as ``ExecutionStats``; see the guard map in
+    :mod:`repro.verify.concurrency.guards`).
+    """
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.RLock()
 
     def counter(self, name: str) -> Counter:
-        metric = self._counters.get(name)
-        if metric is None:
-            metric = self._counters[name] = Counter(name)
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name)
         return metric
 
     def gauge(self, name: str) -> Gauge:
-        metric = self._gauges.get(name)
-        if metric is None:
-            metric = self._gauges[name] = Gauge(name)
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name)
         return metric
 
     def histogram(self, name: str) -> Histogram:
-        metric = self._histograms.get(name)
-        if metric is None:
-            metric = self._histograms[name] = Histogram(name)
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(name)
         return metric
 
     def ingest(self, values: Mapping[str, int], prefix: str = "") -> None:
         """Mirror a flat counter snapshot (e.g. ``ExecutionStats``) into
         gauges named ``prefix + key``."""
-        for key, value in values.items():
-            self.gauge(prefix + key).set(value)
+        with self._lock:
+            for key, value in values.items():
+                self.gauge(prefix + key).set(value)
 
     def snapshot(self) -> dict:
         """One JSON-friendly view of every metric."""
-        return {
-            "counters": {name: c.value
-                         for name, c in sorted(self._counters.items())},
-            "gauges": {name: g.value
-                       for name, g in sorted(self._gauges.items())},
-            "histograms": {name: h.summary()
-                           for name, h in sorted(self._histograms.items())},
-        }
+        with self._lock:
+            return {
+                "counters": {name: c.value
+                             for name, c in sorted(self._counters.items())},
+                "gauges": {name: g.value
+                           for name, g in sorted(self._gauges.items())},
+                "histograms": {name: h.summary()
+                               for name, h
+                               in sorted(self._histograms.items())},
+            }
 
     def reset(self) -> None:
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

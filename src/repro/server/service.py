@@ -110,7 +110,8 @@ class ServerClient:
 
         Already-queued requests still run (draining preserves the
         session's statement order)."""
-        self._closed = True
+        with self._server._lock:
+            self._closed = True
 
     def __enter__(self) -> "ServerClient":
         return self
@@ -201,12 +202,16 @@ class DatabaseServer:
             try:
                 result = self._run(client, request)
             except BaseException as exc:  # propagate to the waiter
-                self.stats.failed += 1
+                failed = True
                 request.future.set_exception(exc)
             else:
-                self.stats.completed += 1
+                failed = False
                 request.future.set_result(result)
             with self._lock:
+                if failed:
+                    self.stats.failed += 1
+                else:
+                    self.stats.completed += 1
                 self._outstanding -= 1
                 if client._pending:
                     self._ready.put(client)
@@ -263,8 +268,9 @@ class DatabaseServer:
 
     def metrics_snapshot(self) -> dict:
         """Engine metrics plus the serving-layer counters as gauges."""
-        self.engine.metrics.ingest(self.stats.snapshot(),
-                                   prefix="server.")
+        with self._lock:
+            counters = self.stats.snapshot()
+        self.engine.metrics.ingest(counters, prefix="server.")
         return self.engine.metrics_snapshot()
 
     def __enter__(self) -> "DatabaseServer":

@@ -1,0 +1,45 @@
+"""Concurrency safety net: lock discipline, statically and dynamically.
+
+Two prongs over one declarative guard map (:mod:`.guards`):
+
+* :mod:`.static` — AST lock-discipline pass (``repro-racecheck``):
+  guarded-attribute mutations outside their ``with <lock>`` block,
+  unguarded catalog/statistics mutation calls, lock-hierarchy
+  inversions, blocking calls under a lock, bare ``acquire``/``release``.
+* :mod:`.lockset` — Eraser-style dynamic lockset detector, off by
+  default, enabled with ``REPRO_RACECHECK=1`` under pytest: guarded
+  classes are shimmed so every access records ``(thread, lockset)``,
+  and cross-thread accesses with an empty lockset intersection are
+  reported as structured :class:`~.lockset.RaceWarning`\\ s.
+"""
+
+from .guards import CALL_GUARDS, GUARDS, CallGuard, GuardSpec
+from .lockset import (
+    RaceWarning,
+    disable_racecheck,
+    enable_racecheck,
+    load_report,
+    racecheck_enabled,
+    racecheck_report,
+    reset_races,
+    write_report,
+)
+from .static import ConcurrencyChecker, ConcurrencyIssue, run_static
+
+__all__ = [
+    "CALL_GUARDS",
+    "CallGuard",
+    "ConcurrencyChecker",
+    "ConcurrencyIssue",
+    "GUARDS",
+    "GuardSpec",
+    "RaceWarning",
+    "disable_racecheck",
+    "enable_racecheck",
+    "load_report",
+    "racecheck_enabled",
+    "racecheck_report",
+    "reset_races",
+    "run_static",
+    "write_report",
+]

@@ -1,0 +1,308 @@
+"""Eraser-style dynamic lockset race detector.
+
+Off by default.  When enabled (``REPRO_RACECHECK=1`` under pytest, or
+:func:`enable_racecheck` directly), a thin shim is patched over the
+guard map's classes:
+
+* every lock in :data:`~.guards.LOCK_OWNERS` is replaced at
+  construction time with a :class:`TrackedLock` that records
+  acquisitions in a thread-local stack;
+* every declared read/write method of a guarded class is wrapped so
+  that each call records one *access* to that instance's guarded state:
+  ``(thread id, lockset, stack fingerprint, kind)``.
+
+The recorded lockset is the union of locks held at method entry and
+locks acquired during the call — internally synchronized classes take
+their own lock inside the method body, and what the lockset algorithm
+needs is the set of locks that *could* be protecting the access.
+
+Per guarded instance, the classic Eraser state machine refines a
+candidate lockset:
+
+* *virgin* -> *exclusive* on first access (one thread owns the state
+  during initialization; no refinement, no reports);
+* a second thread moves the state to *shared* (reads) or
+  *shared-modified* (any write); from then on every participating
+  access intersects its lockset into the candidate set;
+* when the candidate set becomes empty in *shared-modified*, the
+  accesses are not consistently protected by any lock — a candidate
+  race, reported once per location as a structured
+  :class:`RaceWarning` carrying both stack fingerprints.
+
+Specs with ``mode="writes"`` only feed write accesses into the machine:
+the engine's snapshot protocol deliberately lets readers run lock-free,
+so only writer/writer discipline is checkable there.
+
+Everything is process-local (worker processes forked by the MPP pool
+inherit the instrumentation but keep their own tables), and
+:func:`disable_racecheck` restores every patched class, so the shim can
+be switched on and off per test.
+"""
+
+from __future__ import annotations
+
+import functools
+import importlib
+import json
+import sys
+import threading
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+from .guards import GUARDS, LOCK_OWNERS
+
+REPORT_SCHEMA = "repro/racecheck-report@1"
+
+_STATE_ATTR = "_racecheck_state"
+_FRAME_LIMIT = 4
+
+
+@dataclass
+class RaceWarning:
+    """One candidate race: two cross-thread accesses with no common lock."""
+
+    location: str
+    attrs: str
+    first_thread: int
+    first_kind: str
+    first_stack: str
+    first_lockset: tuple[str, ...]
+    second_thread: int
+    second_kind: str
+    second_stack: str
+    second_lockset: tuple[str, ...]
+
+    def render(self) -> str:
+        return (
+            f"race on {self.location} ({self.attrs}):\n"
+            f"  [{self.first_kind}] thread {self.first_thread} "
+            f"locks={list(self.first_lockset) or '{}'}\n"
+            f"      {self.first_stack}\n"
+            f"  [{self.second_kind}] thread {self.second_thread} "
+            f"locks={list(self.second_lockset) or '{}'}\n"
+            f"      {self.second_stack}")
+
+
+class _Tls(threading.local):
+    def __init__(self):
+        self.held: list[str] = []    # lock labels, acquisition order
+        self.log: list[str] = []     # append-only acquisition log
+
+
+_TLS = _Tls()
+_TABLE_LOCK = threading.Lock()
+_RACES: list[RaceWarning] = []
+_ENABLED = False
+_PATCHES: list[tuple[type, str, object]] = []
+
+
+class TrackedLock:
+    """Context-manager wrapper recording acquisitions per thread.
+
+    Only the ``with`` protocol is offered on purpose: the static pass's
+    ``lock-api`` rule bans bare ``acquire``/``release`` anyway, and a
+    tracked lock that only supports ``with`` enforces it at run time
+    too.
+    """
+
+    __slots__ = ("_inner", "label")
+
+    def __init__(self, inner, label: str):
+        self._inner = inner
+        self.label = label
+
+    def __enter__(self):
+        self._inner.acquire()
+        _TLS.held.append(self.label)
+        _TLS.log.append(self.label)
+        return self
+
+    def __exit__(self, *exc):
+        _TLS.held.remove(self.label)
+        self._inner.release()
+        return False
+
+
+@dataclass
+class _LocationState:
+    """Eraser state for one guarded instance."""
+
+    label: str
+    attrs: str
+    state: str = "virgin"            # virgin/exclusive/shared/shared-mod
+    owner: int = 0
+    lockset: Optional[frozenset] = None
+    last_by_thread: dict = field(default_factory=dict)
+    reported: bool = False
+
+
+def _fingerprint() -> str:
+    """A short caller-stack signature, skipping shim frames."""
+    frames = []
+    frame = sys._getframe(2)
+    while frame is not None and len(frames) < _FRAME_LIMIT:
+        filename = frame.f_code.co_filename
+        if "verify/concurrency" not in filename.replace("\\", "/"):
+            short = filename.rsplit("/", 1)[-1]
+            frames.append(f"{short}:{frame.f_lineno} in "
+                          f"{frame.f_code.co_name}")
+        frame = frame.f_back
+    return " > ".join(frames)
+
+
+def _record(instance, spec, kind: str, lockset: frozenset) -> None:
+    thread = threading.get_ident()
+    stack = _fingerprint()
+    with _TABLE_LOCK:
+        state = instance.__dict__.get(_STATE_ATTR)
+        if state is None:
+            state = _LocationState(
+                label=f"{spec.name}#{id(instance) & 0xffffff:x}",
+                attrs="/".join(spec.attrs) or "shared state")
+            instance.__dict__[_STATE_ATTR] = state
+        state.last_by_thread[thread] = (kind, stack, lockset)
+        if state.state == "virgin":
+            state.state = "exclusive"
+            state.owner = thread
+            return
+        if state.state == "exclusive" and thread == state.owner:
+            return
+        # Second thread reached the state: start/continue refinement.
+        if state.state == "exclusive":
+            state.state = "shared"
+        if state.lockset is None:
+            state.lockset = lockset
+        else:
+            state.lockset &= lockset
+        if kind == "write":
+            state.state = "shared-modified"
+        if state.state == "shared-modified" and not state.lockset \
+                and not state.reported:
+            state.reported = True
+            other = next(
+                ((t, access) for t, access in state.last_by_thread.items()
+                 if t != thread), (state.owner, (kind, stack, lockset)))
+            other_thread, (o_kind, o_stack, o_locks) = other
+            _RACES.append(RaceWarning(
+                location=state.label, attrs=state.attrs,
+                first_thread=other_thread, first_kind=o_kind,
+                first_stack=o_stack,
+                first_lockset=tuple(sorted(o_locks)),
+                second_thread=thread, second_kind=kind,
+                second_stack=stack,
+                second_lockset=tuple(sorted(lockset))))
+
+
+def _wrap_access(original, spec, kind: str):
+    @functools.wraps(original)
+    def wrapper(self, *args, **kwargs):
+        entry_held = tuple(_TLS.held)
+        mark = len(_TLS.log)
+        try:
+            return original(self, *args, **kwargs)
+        finally:
+            lockset = frozenset(entry_held).union(_TLS.log[mark:])
+            _record(self, spec, kind, lockset)
+    wrapper._racecheck_original = original
+    return wrapper
+
+
+def _wrap_init(original, lock_attrs: tuple[tuple[str, str], ...]):
+    @functools.wraps(original)
+    def wrapper(self, *args, **kwargs):
+        original(self, *args, **kwargs)
+        for attr, label in lock_attrs:
+            inner = getattr(self, attr, None)
+            if inner is not None and not isinstance(inner, TrackedLock):
+                setattr(self, attr, TrackedLock(
+                    inner, f"{label}#{id(self) & 0xffffff:x}"))
+    wrapper._racecheck_original = original
+    return wrapper
+
+
+def _patch(cls: type, attr: str, replacement) -> None:
+    _PATCHES.append((cls, attr, cls.__dict__[attr]))
+    setattr(cls, attr, replacement)
+
+
+def enable_racecheck() -> None:
+    """Install the instrumentation shim (idempotent)."""
+    global _ENABLED
+    if _ENABLED:
+        return
+    owners: dict[type, list[tuple[str, str]]] = {}
+    for module, cls_name, lock_attr, _level in LOCK_OWNERS:
+        cls = getattr(importlib.import_module(module), cls_name)
+        owners.setdefault(cls, []).append(
+            (lock_attr, f"{cls_name}.{lock_attr}"))
+    for cls, lock_attrs in owners.items():
+        _patch(cls, "__init__",
+               _wrap_init(cls.__dict__["__init__"], tuple(lock_attrs)))
+    for spec in GUARDS:
+        methods = [(name, "write") for name in spec.write_methods]
+        if spec.mode == "all":
+            methods += [(name, "read") for name in spec.read_methods]
+        if not methods:
+            continue
+        cls = getattr(importlib.import_module(spec.import_path),
+                      spec.cls)
+        for name, kind in methods:
+            _patch(cls, name, _wrap_access(cls.__dict__[name], spec,
+                                           kind))
+    _ENABLED = True
+
+
+def disable_racecheck() -> None:
+    """Remove the shim and restore every patched class."""
+    global _ENABLED
+    while _PATCHES:
+        cls, attr, original = _PATCHES.pop()
+        setattr(cls, attr, original)
+    _ENABLED = False
+
+
+def racecheck_enabled() -> bool:
+    return _ENABLED
+
+
+def racecheck_report() -> list[RaceWarning]:
+    """The candidate races recorded so far (process-local)."""
+    with _TABLE_LOCK:
+        return list(_RACES)
+
+
+def reset_races() -> None:
+    with _TABLE_LOCK:
+        _RACES.clear()
+
+
+def report_to_dict() -> dict:
+    """JSON-shaped dynamic report (consumed by ``repro-racecheck
+    --replay``)."""
+    with _TABLE_LOCK:
+        return {
+            "schema": REPORT_SCHEMA,
+            "enabled": _ENABLED,
+            "races": [asdict(race) for race in _RACES],
+        }
+
+
+def write_report(path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report_to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_report(path: str) -> list[RaceWarning]:
+    """Re-hydrate a recorded dynamic report."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("schema") != REPORT_SCHEMA:
+        raise ValueError(
+            f"not a racecheck report (schema {payload.get('schema')!r},"
+            f" expected {REPORT_SCHEMA!r})")
+    return [RaceWarning(**{**race,
+                           "first_lockset": tuple(race["first_lockset"]),
+                           "second_lockset":
+                               tuple(race["second_lockset"])})
+            for race in payload["races"]]

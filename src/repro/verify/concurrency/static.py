@@ -1,0 +1,388 @@
+"""Static lock-discipline pass over the source tree.
+
+AST-based, like :mod:`repro.verify.lint`, but driven entirely by the
+declarative guard map in :mod:`.guards`.  Four rule families:
+
+* **unguarded-mutation** — a mutation of a guarded attribute (plain /
+  augmented / subscript assignment, ``del``, or a mutating container
+  call such as ``.append``/``.pop``/``.clear``) that is not lexically
+  inside a ``with <lock>`` block for the declared lock.  Checked in the
+  guard's defining module for every declared attr, and in any module
+  importing the guarded class for the underscore-private attrs.
+* **unguarded-call** — a call into the mutation API of an externally
+  synchronized object (``catalog.create/drop/put/register``,
+  ``statistics.analyze/invalidate``) outside ``with <...>.write_lock``.
+* **lock-hierarchy** — a ``with`` that acquires a lock of *higher* rank
+  than one already held lexically (the declared order is
+  ``write_lock > table lock > cache locks``; re-entering the same lock
+  is fine, it is re-entrant).
+* **blocking-under-lock** — ``sleep``, pipe ``recv``/``recv_bytes``,
+  queue ``get``, future ``result`` or thread ``join`` calls made while
+  any guarded lock is lexically held: a blocked lock holder stalls
+  every session behind it.
+* **lock-api** — direct ``.acquire()``/``.release()`` on a lock:
+  guarded state discipline is only auditable when critical sections are
+  lexical ``with`` blocks.
+
+Lexical scoping is a deliberate approximation: a function *called* from
+inside a ``with`` block does not inherit the lock in this analysis.
+Contexts where that matters are declared in the guard map
+(``ASSUMED_HELD_MODULES`` / ``ASSUMED_HELD_FUNCTIONS``) as part of the
+contract the checker enforces — an undeclared one shows up as a
+finding, which is the point: every lock-held entry path is written
+down, machine-checked, exactly one hop of reasoning.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from .guards import (
+    ASSUMED_HELD_FUNCTIONS,
+    ASSUMED_HELD_MODULES,
+    CALL_GUARDS,
+    DEFAULT_LOCK_LEVEL,
+    GLOBAL_LOCK_LEVELS,
+    GUARDS,
+    GuardSpec,
+    LEVEL_NAMES,
+    module_lock_levels,
+)
+
+_PACKAGE_ROOT = Path(__file__).resolve().parents[2]  # src/repro
+
+# Container-mutation method names: calling one of these on a guarded
+# attribute mutates the guarded structure.
+_MUTATORS = frozenset({
+    "append", "appendleft", "add", "clear", "discard", "extend",
+    "insert", "move_to_end", "pop", "popleft", "popitem", "remove",
+    "setdefault", "update",
+})
+
+# Blocking-call shapes (attribute name -> receiver-name hints; empty
+# hint set means any receiver).
+_BLOCKING_ATTRS: dict[str, tuple[str, ...]] = {
+    "sleep": (),
+    "recv": (),
+    "recv_bytes": (),
+    "get": ("queue", "ready", "inbox", "jobs"),
+    "result": ("future", "fut"),
+    "join": ("thread", "worker", "proc", "pool"),
+}
+
+# The shim/checker implementation itself talks about locks by name.
+_EXEMPT_PREFIXES = ("verify/concurrency/",)
+
+
+@dataclass
+class ConcurrencyIssue:
+    """One finding: file/line plus the rule that fired."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass(frozen=True)
+class _Held:
+    """One lexically held lock: its attribute name and hierarchy rank."""
+
+    attr: str
+    level: Optional[int]
+
+
+def _attr_chain(node: ast.AST) -> list[str]:
+    """``self._engine.write_lock`` -> ["self", "_engine", "write_lock"];
+    empty when the expression is not a plain name/attribute chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return []
+
+
+def _is_lockish(name: str) -> bool:
+    return name.endswith("lock")
+
+
+class _ModuleChecker(ast.NodeVisitor):
+    """Walks one module with a lexical held-locks stack."""
+
+    def __init__(self, checker: "ConcurrencyChecker", path: Path,
+                 rel: str, tree: ast.Module):
+        self.checker = checker
+        self.path = path
+        self.rel = rel
+        self.tree = tree
+        self.lock_levels = module_lock_levels(rel)
+        # Specs whose every attr is checked here (defining module) and
+        # specs whose private attrs are checked here (imported class).
+        self.local_specs = [s for s in GUARDS if s.module == rel]
+        imported = self._imported_names()
+        self.imported_specs = [
+            s for s in GUARDS
+            if s.module != rel and s.cls in imported and s.shared_attrs]
+        self.held: list[_Held] = list(
+            self._assumed(ASSUMED_HELD_MODULES.get(rel, ())))
+        self.in_init = False
+
+    # -- context helpers ---------------------------------------------------
+
+    def _assumed(self, attrs) -> list[_Held]:
+        return [_Held(a, self._lock_level(a)) for a in attrs]
+
+    def _imported_names(self) -> set[str]:
+        names: set[str] = set()
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.ImportFrom):
+                names.update(alias.asname or alias.name
+                             for alias in node.names)
+        return names
+
+    def _lock_level(self, attr: str) -> Optional[int]:
+        if attr in self.lock_levels:
+            return self.lock_levels[attr]
+        if attr in GLOBAL_LOCK_LEVELS:
+            return GLOBAL_LOCK_LEVELS[attr]
+        return DEFAULT_LOCK_LEVEL if attr.startswith("_") else None
+
+    def _note(self, node: ast.AST, rule: str, message: str) -> None:
+        self.checker.note(self.path, node.lineno, rule, message)
+
+    def _holds(self, lock_attr: str) -> bool:
+        return any(h.attr == lock_attr for h in self.held)
+
+    # -- scope handling ----------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_function(node)
+
+    def _enter_function(self, node) -> None:
+        # A nested def is a fresh execution context: it does not inherit
+        # lexically held locks (it may run long after the block exits).
+        saved_held, saved_init = self.held, self.in_init
+        self.held = self._assumed(
+            ASSUMED_HELD_MODULES.get(self.rel, ())
+            + ASSUMED_HELD_FUNCTIONS.get((self.rel, node.name), ()))
+        # __init__ builds state no other thread can reach yet.
+        self.in_init = node.name == "__init__"
+        self.generic_visit(node)
+        self.held, self.in_init = saved_held, saved_init
+
+    def visit_With(self, node: ast.With) -> None:
+        self._enter_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._enter_with(node)
+
+    def _enter_with(self, node) -> None:
+        acquired: list[_Held] = []
+        for item in node.items:
+            chain = _attr_chain(item.context_expr)
+            if not chain or not _is_lockish(chain[-1]):
+                continue
+            attr = chain[-1]
+            if self._holds(attr):
+                continue  # re-entrant re-acquisition of the same lock
+            level = self._lock_level(attr)
+            if level is not None:
+                for outer in self.held:
+                    if outer.level is not None and outer.level < level:
+                        self._note(
+                            node, "lock-hierarchy",
+                            f"acquires {attr} "
+                            f"({LEVEL_NAMES[level]} level) while "
+                            f"holding {outer.attr} "
+                            f"({LEVEL_NAMES[outer.level]} level); the "
+                            "declared order is write_lock > table lock "
+                            "> cache locks")
+            acquired.append(_Held(attr, level))
+        self.held.extend(acquired)
+        self.generic_visit(node)
+        if acquired:
+            del self.held[-len(acquired):]
+
+    # -- mutation rules ----------------------------------------------------
+
+    def _match_specs(self, attr_node: ast.Attribute) -> list[GuardSpec]:
+        """Guard specs whose contract covers a mutation of this attr."""
+        matches = []
+        for spec in self.local_specs:
+            if attr_node.attr not in spec.attrs:
+                continue
+            if spec.target_attr:
+                owner = attr_node.value
+                if not (isinstance(owner, ast.Attribute)
+                        and owner.attr == spec.target_attr):
+                    continue
+            matches.append(spec)
+        if not matches:
+            for spec in self.imported_specs:
+                if attr_node.attr in spec.shared_attrs:
+                    matches.append(spec)
+        return matches
+
+    def _check_mutation(self, node: ast.AST, target: ast.AST) -> None:
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        if not isinstance(target, ast.Attribute):
+            return
+        if self.in_init:
+            return
+        for spec in self._match_specs(target):
+            if not self._holds(spec.lock_attr):
+                self._note(
+                    node, "unguarded-mutation",
+                    f"mutates {spec.name}.{target.attr} outside a "
+                    f"`with <...>.{spec.lock_attr}` block (guard map: "
+                    f"{spec.lock_attr} protects "
+                    f"{'/'.join(spec.attrs)})")
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_mutation(node, target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_mutation(node, node.target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_mutation(node, node.target)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_mutation(node, target)
+        self.generic_visit(node)
+
+    # -- call rules --------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in _MUTATORS and isinstance(func.value,
+                                                     ast.Attribute):
+                self._check_mutation(node, func.value)
+            self._check_call_guards(node, func)
+            self._check_lock_api(node, func)
+            if self.held and not self.in_init:
+                self._check_blocking(node, func)
+        elif isinstance(func, ast.Name) and func.id == "sleep" \
+                and self.held and not self.in_init:
+            self._note(node, "blocking-under-lock",
+                       "sleep() while holding "
+                       f"{self.held[-1].attr}: a blocked lock holder "
+                       "stalls every waiter")
+        self.generic_visit(node)
+
+    def _check_call_guards(self, node: ast.Call,
+                           func: ast.Attribute) -> None:
+        chain = _attr_chain(func)
+        if len(chain) < 3:
+            return  # need at least <recv>.<receiver>.<method>()
+        receiver, method = chain[-2], chain[-1]
+        for guard in CALL_GUARDS:
+            if method not in guard.methods or receiver != guard.receiver:
+                continue
+            if any(self.rel == exempt or self.rel.endswith(exempt)
+                   for exempt in guard.exempt_modules):
+                continue
+            if not self._holds(guard.lock_attr):
+                self._note(
+                    node, "unguarded-call",
+                    f"{receiver}.{method}() mutates engine-shared "
+                    f"{guard.name} state outside a `with "
+                    f"<...>.{guard.lock_attr}` block")
+
+    def _check_lock_api(self, node: ast.Call,
+                        func: ast.Attribute) -> None:
+        if func.attr not in ("acquire", "release"):
+            return
+        chain = _attr_chain(func.value)
+        if chain and _is_lockish(chain[-1]):
+            self._note(
+                node, "lock-api",
+                f"direct {chain[-1]}.{func.attr}(): locks are acquired "
+                "only through `with` blocks so critical sections stay "
+                "lexically auditable")
+
+    def _check_blocking(self, node: ast.Call,
+                        func: ast.Attribute) -> None:
+        hints = _BLOCKING_ATTRS.get(func.attr)
+        if hints is None:
+            return
+        if hints:
+            chain = _attr_chain(func.value)
+            receiver = chain[-1].lower() if chain else ""
+            if not any(hint in receiver for hint in hints):
+                return
+        self._note(
+            node, "blocking-under-lock",
+            f"blocking call .{func.attr}() while holding "
+            f"{self.held[-1].attr}: a blocked lock holder stalls "
+            "every waiter")
+
+    def run(self) -> None:
+        self.visit(self.tree)
+
+
+class ConcurrencyChecker:
+    """Runs the lock-discipline pass over one source tree."""
+
+    def __init__(self, root: Optional[Path] = None):
+        self.root = root or _PACKAGE_ROOT
+        self.issues: list[ConcurrencyIssue] = []
+        self._files: list[tuple[Path, str, ast.Module]] = []
+        for path in sorted(self.root.rglob("*.py")):
+            rel = self._rel(path)
+            if any(rel.startswith(prefix) for prefix in _EXEMPT_PREFIXES):
+                continue
+            try:
+                tree = ast.parse(path.read_text(), filename=str(path))
+            except SyntaxError:
+                self.note(path, 1, "parse", "file does not parse")
+                continue
+            self._files.append((path, rel, tree))
+
+    def _rel(self, path: Path) -> str:
+        try:
+            return path.relative_to(self.root).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    def note(self, path: Path, line: int, rule: str,
+             message: str) -> None:
+        self.issues.append(
+            ConcurrencyIssue(self._rel(path), line, rule, message))
+
+    def run(self) -> list[ConcurrencyIssue]:
+        for path, rel, tree in self._files:
+            _ModuleChecker(self, path, rel, tree).run()
+        self.issues.sort(key=lambda i: (i.path, i.line, i.rule))
+        return self.issues
+
+    @property
+    def file_count(self) -> int:
+        return len(self._files)
+
+
+def run_static(root: Optional[Path] = None) -> list[ConcurrencyIssue]:
+    """All lock-discipline findings over ``root`` (default: the
+    installed package)."""
+    return ConcurrencyChecker(root).run()

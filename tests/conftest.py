@@ -1,11 +1,36 @@
-"""Shared fixtures: small graphs and pre-loaded databases."""
+"""Shared fixtures: small graphs and pre-loaded databases.
+
+Also wires the dynamic lockset race detector: running the suite with
+``REPRO_RACECHECK=1`` instruments the guarded classes for the whole
+session and writes the collected report (even when empty) to
+``$REPRO_RACECHECK_REPORT`` (default ``RACECHECK_REPORT.json``) at
+session end, for ``repro-racecheck --replay``.
+"""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro import Database
 from repro.types import SqlType
+
+_RACECHECK = os.environ.get("REPRO_RACECHECK") == "1"
+
+
+def pytest_configure(config):
+    if _RACECHECK:
+        from repro.verify.concurrency import enable_racecheck
+        enable_racecheck()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _RACECHECK:
+        from repro.verify.concurrency import write_report
+        path = os.environ.get("REPRO_RACECHECK_REPORT",
+                              "RACECHECK_REPORT.json")
+        write_report(path)
 
 # A small weighted digraph used across tests:
 #

@@ -11,7 +11,7 @@ import pytest
 
 from repro import Database
 from repro.engine import Engine
-from repro.errors import AdmissionError, ReproError
+from repro.errors import AdmissionError, CatalogError, ReproError
 from repro.execution import SessionOptions
 from repro.server import DatabaseServer, serve
 from repro.types import SqlType
@@ -298,3 +298,79 @@ class TestConcurrentSnapshots:
             client.execute("DROP TABLE scratch")
             assert client.execute(sql).scalar() == 5
         assert db.stats.plan_cache_invalidations == 2
+
+
+@pytest.mark.serving_smoke
+class TestDdlStorm:
+    """Plan-cache invalidation under a DDL storm: a writer repeatedly
+    drops and recreates a hot table while readers replay one cached
+    statement.  Every reader outcome must be either a value the table
+    actually held in some round (snapshot-consistent read through a
+    fresh or recompiled plan) or a clean :class:`CatalogError` from the
+    missing-table window — never a stale-binding failure (KeyError /
+    IndexError / wrong schema) from a plan compiled against a dead
+    catalog version."""
+
+    ROUNDS = 15
+    READERS = 4
+    READS_PER_READER = 30
+
+    def test_cached_plans_survive_drop_recreate(self):
+        db = Database()
+        db.create_table("hot", [("x", SqlType.INTEGER)])
+        db.load_rows("hot", [(10,)])
+        markers = {(r + 1) * 10 for r in range(self.ROUNDS)}
+        observed = []
+        errors = []
+        tolerated = []
+
+        server = serve(db, workers=4, queue_depth=1024)
+        try:
+            def writer():
+                client = server.connect()
+                try:
+                    for r in range(1, self.ROUNDS):
+                        client.execute("DROP TABLE hot")
+                        client.execute("CREATE TABLE hot (x INTEGER)")
+                        client.execute(
+                            f"INSERT INTO hot VALUES ({(r + 1) * 10})")
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            def reader():
+                client = server.connect()
+                local = []
+                for _ in range(self.READS_PER_READER):
+                    try:
+                        local.append(client.execute(
+                            "SELECT SUM(x) FROM hot").scalar())
+                    except CatalogError as exc:
+                        # The drop/create gap: a legitimate, clean
+                        # "no such table" answer.
+                        tolerated.append(exc)
+                    except Exception as exc:  # pragma: no cover
+                        errors.append(exc)
+                observed.append(local)
+
+            threads = [threading.Thread(target=writer)]
+            threads += [threading.Thread(target=reader)
+                        for _ in range(self.READERS)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            server.shutdown()
+
+        assert errors == []
+        assert len(observed) == self.READERS
+        # None = the freshly recreated table before its INSERT landed.
+        valid = markers | {None}
+        for local in observed:
+            assert local, "reader produced no outcomes"
+            for value in local:
+                assert value in valid, f"stale read: {value!r}"
+        # The storm really did cycle cached plans through DDL versions.
+        assert db.stats.plan_cache_invalidations > 0
+        final = db.execute("SELECT SUM(x) FROM hot").scalar()
+        assert final == self.ROUNDS * 10

@@ -43,6 +43,25 @@ def test_marker_expression_covers_all_guards():
     assert marker_expression(only="perf") == "perf_smoke"
 
 
+def test_racecheck_guard_script_exists_and_is_executable():
+    script = REPO / "scripts" / "check_racecheck_smoke.sh"
+    assert script.exists()
+    assert script.stat().st_mode & 0o111, "guard script not executable"
+    text = script.read_text()
+    assert "repro.verify.concurrency.cli" in text
+    assert "racecheck_smoke" in text
+
+
+def test_ci_runs_the_racecheck_job():
+    """The dynamic detector only exists in CI through this job; a
+    deleted or renamed job silently turns the lockset prong off."""
+    ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
+    assert "racecheck:" in ci
+    assert 'REPRO_RACECHECK: "1"' in ci
+    assert "repro-racecheck --replay RACECHECK_REPORT.json" in ci
+    assert "check_racecheck_smoke.sh" in ci
+
+
 def test_every_guard_selects_at_least_one_test():
     """A marker that matches nothing is a guard that silently passes."""
     import pytest
